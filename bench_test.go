@@ -1,0 +1,290 @@
+// Benchmarks regenerating the paper's tables and figures. Each
+// Benchmark{Table,Fig}* target reproduces one table or figure of the
+// evaluation; figure benches run a representative cross-suite benchmark
+// subset with shortened measurement windows so `go test -bench=.` stays
+// tractable — cmd/experiments runs the full 32-benchmark sweep and prints
+// the complete series.
+//
+// Reported custom metrics:
+//
+//	gmean       - the figure's GMEAN over the benched subset
+//	paper_gmean - the paper's published GMEAN (full benchmark set)
+package smartrefresh_test
+
+import (
+	"testing"
+
+	"smartrefresh"
+	"smartrefresh/internal/experiment"
+	"smartrefresh/internal/power"
+	"smartrefresh/internal/workload"
+)
+
+// benchSubset crosses all four suites while keeping bench time bounded.
+var benchSubset = []string{"fasta", "gcc", "radix", "perl_twolf"}
+
+func benchOpts() smartrefresh.RunOptions {
+	return smartrefresh.RunOptions{
+		Warmup:  64 * smartrefresh.Millisecond,
+		Measure: 128 * smartrefresh.Millisecond,
+	}
+}
+
+func benchSuite() *smartrefresh.Suite {
+	s := smartrefresh.NewSuite()
+	s.Benchmarks = benchSubset
+	s.Opts = benchOpts()
+	return s
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.ReportAllocs()
+	var fig smartrefresh.Figure
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		var err error
+		fig, err = s.FigureByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fig.MeasuredGMean, "gmean")
+	b.ReportMetric(fig.PaperGMean, "paper_gmean")
+}
+
+// Table 1: the conventional module configurations and their baseline
+// refresh rates (2,048,000/s and 4,096,000/s).
+func BenchmarkTable1Config(b *testing.B) {
+	var rate2, rate4 float64
+	for i := 0; i < b.N; i++ {
+		c2 := smartrefresh.Table1_2GB()
+		c4 := smartrefresh.Table1_4GB()
+		if err := c2.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if err := c4.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		rate2 = c2.BaselineRefreshesPerSecond()
+		rate4 = c4.BaselineRefreshesPerSecond()
+	}
+	b.ReportMetric(rate2, "2GB_refr/s")
+	b.ReportMetric(rate4, "4GB_refr/s")
+}
+
+// Table 2: the 3D DRAM cache configuration at both refresh intervals.
+func BenchmarkTable2Config(b *testing.B) {
+	var rate64, rate32 float64
+	for i := 0; i < b.N; i++ {
+		c64 := smartrefresh.Table2_3D64()
+		c32 := smartrefresh.Table2_3D32()
+		if err := c64.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if err := c32.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		rate64 = c64.BaselineRefreshesPerSecond()
+		rate32 = c32.BaselineRefreshesPerSecond()
+	}
+	b.ReportMetric(rate64, "64ms_refr/s")
+	b.ReportMetric(rate32, "32ms_refr/s")
+}
+
+// Table 3: the bus-energy parameter set and the per-refresh RAS-only
+// address cost it implies.
+func BenchmarkTable3BusEnergy(b *testing.B) {
+	var pj float64
+	for i := 0; i < b.N; i++ {
+		bus := power.Table3Bus(2)
+		pj = float64(bus.EnergyPerAccess(16))
+	}
+	b.ReportMetric(pj, "pJ/refresh")
+}
+
+// Figures 6-8: conventional 2 GB DRAM.
+func BenchmarkFig6RefreshesPerSec2GB(b *testing.B) { benchFigure(b, "fig6") }
+func BenchmarkFig7RefreshEnergy2GB(b *testing.B)   { benchFigure(b, "fig7") }
+func BenchmarkFig8TotalEnergy2GB(b *testing.B)     { benchFigure(b, "fig8") }
+
+// Figures 9-11: conventional 4 GB DRAM.
+func BenchmarkFig9RefreshesPerSec4GB(b *testing.B) { benchFigure(b, "fig9") }
+func BenchmarkFig10RefreshEnergy4GB(b *testing.B)  { benchFigure(b, "fig10") }
+func BenchmarkFig11TotalEnergy4GB(b *testing.B)    { benchFigure(b, "fig11") }
+
+// Figures 12-14: 64 MB 3D DRAM cache, 64 ms refresh.
+func BenchmarkFig12RefreshesPerSec3D64ms(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFig13RefreshEnergy3D64ms(b *testing.B)   { benchFigure(b, "fig13") }
+func BenchmarkFig14TotalEnergy3D64ms(b *testing.B)     { benchFigure(b, "fig14") }
+
+// Figures 15-17: 64 MB 3D DRAM cache, 32 ms refresh.
+func BenchmarkFig15RefreshesPerSec3D32ms(b *testing.B) { benchFigure(b, "fig15") }
+func BenchmarkFig16RefreshEnergy3D32ms(b *testing.B)   { benchFigure(b, "fig16") }
+func BenchmarkFig17TotalEnergy3D32ms(b *testing.B)     { benchFigure(b, "fig17") }
+
+// Figure 18: performance improvement, 3D cache at 32 ms.
+func BenchmarkFig18Performance3D32ms(b *testing.B) { benchFigure(b, "fig18") }
+
+// Section 4.4: counter-width optimality sweep (also the counter-width
+// ablation called out in DESIGN.md).
+func BenchmarkOptimalityCounterWidth(b *testing.B) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pts []experiment.CounterWidthPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.CounterWidthStudy(prof, []int{2, 3, 4}, experiment.RunOptions{
+			Warmup:  64 * smartrefresh.Millisecond,
+			Measure: 128 * smartrefresh.Millisecond,
+		})
+	}
+	b.ReportMetric(pts[1].MeasuredOptimalityPct, "optimality3bit_%")
+	b.ReportMetric(pts[1].OptimalityPct, "paper_optimality_%")
+}
+
+// Ablation: staggered vs uniform counter seeding (figure 2 burst hazard).
+func BenchmarkAblationStagger(b *testing.B) {
+	var pts []experiment.StaggerPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.StaggerStudy(experiment.Conv2GB)
+	}
+	b.ReportMetric(float64(pts[0].MaxPendingPerTick), "staggered_burst")
+	b.ReportMetric(float64(pts[1].MaxPendingPerTick), "uniform_burst")
+}
+
+// Ablation: pending refresh queue depth / segment count (section 5).
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	prof, err := workload.ByName("fasta")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pts []experiment.SegmentsPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.SegmentsStudy(prof, []int{4, 8, 16}, experiment.RunOptions{
+			Warmup:  64 * smartrefresh.Millisecond,
+			Measure: 64 * smartrefresh.Millisecond,
+		})
+	}
+	b.ReportMetric(float64(pts[1].MaxPendingPerTick), "maxpending_8seg")
+}
+
+// Ablation: RAS-only address-bus overhead on vs off (section 3).
+func BenchmarkAblationBusOverhead(b *testing.B) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pts []experiment.BusOverheadPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.BusOverheadStudy(prof, experiment.RunOptions{
+			Warmup:  64 * smartrefresh.Millisecond,
+			Measure: 64 * smartrefresh.Millisecond,
+		})
+	}
+	b.ReportMetric(pts[0].RefreshEnergySavingPct, "saving_with_bus_%")
+	b.ReportMetric(pts[1].RefreshEnergySavingPct, "saving_no_bus_%")
+}
+
+// Ablation: self-disable threshold sweep (section 4.6).
+func BenchmarkAblationDisableThresholds(b *testing.B) {
+	var pts []experiment.ThresholdPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.DisableThresholdStudy(0.002, [][2]float64{
+			{0.01, 0.02}, {0.005, 0.01}, {0.0001, 0.0002},
+		}, experiment.RunOptions{
+			Warmup:  64 * smartrefresh.Millisecond,
+			Measure: 128 * smartrefresh.Millisecond,
+		})
+	}
+	b.ReportMetric(pts[0].TotalEnergyMJ, "paperthresh_mJ")
+	b.ReportMetric(pts[2].TotalEnergyMJ, "nodisable_mJ")
+}
+
+// Extension: retention-aware Smart Refresh (RAPID/VRA combination the
+// related work calls orthogonal).
+func BenchmarkAblationRetentionAware(b *testing.B) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pts []experiment.RetentionAwarePoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.RetentionAwareStudy(prof, experiment.RunOptions{
+			Warmup:  64 * smartrefresh.Millisecond,
+			Measure: 128 * smartrefresh.Millisecond,
+		})
+	}
+	b.ReportMetric(pts[1].RefreshReductionPct, "smart_reduction_%")
+	b.ReportMetric(pts[2].RefreshReductionPct, "aware_reduction_%")
+}
+
+// Section 4.6: idle-OS workload with the self-disable circuitry.
+func BenchmarkDisableIdleWorkload(b *testing.B) {
+	var res experiment.DisableStudyResult
+	for i := 0; i < b.N; i++ {
+		res = experiment.DisableStudy(experiment.RunOptions{
+			Warmup:  64 * smartrefresh.Millisecond,
+			Measure: 192 * smartrefresh.Millisecond,
+		})
+	}
+	b.ReportMetric(res.EnergyLossPctWithDisable, "energy_loss_%")
+}
+
+// Extension: embedded-DRAM refresh-interval sweep (the introduction's
+// NEC 4 ms / IBM 64 us observation).
+func BenchmarkEDRAMIntervalSweep(b *testing.B) {
+	var pts []experiment.EDRAMPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.EDRAMStudy()
+	}
+	b.ReportMetric(pts[1].BaselineRefreshSharePct, "4ms_refresh_share_%")
+	b.ReportMetric(pts[1].TotalSavingPct, "4ms_total_saving_%")
+}
+
+// Micro-benchmarks of the hot paths.
+
+func BenchmarkSmartPolicyAdvance(b *testing.B) {
+	cfg := smartrefresh.Table1_2GB()
+	cfg.Smart.SelfDisable = false
+	p := smartrefresh.NewSmartPolicy(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t smartrefresh.Time
+	step := cfg.RefreshInterval() / smartrefresh.Duration(cfg.Geometry.TotalRows())
+	for i := 0; i < b.N; i++ {
+		t += step
+		_ = p.Advance(t, nil)
+	}
+}
+
+func BenchmarkControllerSubmit(b *testing.B) {
+	cfg := smartrefresh.Table1_2GB()
+	ctl, err := smartrefresh.NewController(cfg, smartrefresh.NewSmartPolicy(cfg),
+		smartrefresh.ControllerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t smartrefresh.Time
+	for i := 0; i < b.N; i++ {
+		t += 200 * smartrefresh.Nanosecond
+		ctl.Submit(smartrefresh.Request{Time: t, Addr: uint64(i) * 16384})
+	}
+}
+
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	prof, err := smartrefresh.ProfileByName("water-spatial")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := smartrefresh.NewGenerator(prof.MainSpec(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := gen.Next(); !ok {
+			b.Fatal("generator ended")
+		}
+	}
+}

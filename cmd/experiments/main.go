@@ -1,0 +1,160 @@
+// Command experiments regenerates the paper's evaluation: Figures 6-18
+// as per-benchmark tables with measured and published GMEANs, plus the
+// section 4.4 optimality study, the figure 2 stagger ablation, the
+// section 5 queue sizing study, the RAS-only bus overhead ablation, and
+// the section 4.6 idle-OS self-disable experiment.
+//
+// The full sweep (32 benchmarks x 4 configurations x 2 policies) takes a
+// few minutes; use -benchmarks and -figures to restrict it.
+//
+// Examples:
+//
+//	experiments                          # everything
+//	experiments -figures fig6,fig7,fig8  # one configuration's sweep
+//	experiments -benchmarks fasta,gcc -figures fig12
+//	experiments -ablations               # only the ablation studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smartrefresh/internal/experiment"
+	"smartrefresh/internal/report"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	figures := fs.String("figures", "all", "comma-separated figure ids (fig6..fig18), 'all', or 'none'")
+	benchmarks := fs.String("benchmarks", "all", "comma-separated benchmark subset or 'all'")
+	warmupMS := fs.Int("warmup-ms", 64, "warmup excluded from measurement, ms")
+	measureMS := fs.Int("measure-ms", 256, "measured window, ms")
+	ablations := fs.Bool("ablations", false, "run the ablation studies (also run with -figures none)")
+	quiet := fs.Bool("quiet", false, "suppress per-run progress lines")
+	formatName := fs.String("format", "text", "figure output format: text, csv, markdown, json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	format, err := report.ParseFormat(*formatName)
+	if err != nil {
+		return err
+	}
+
+	suite := experiment.NewSuite()
+	suite.Opts = experiment.RunOptions{
+		Warmup:  sim.Time(*warmupMS) * sim.Millisecond,
+		Measure: sim.Time(*measureMS) * sim.Millisecond,
+	}
+	if *benchmarks != "all" {
+		suite.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if !*quiet {
+		suite.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	var ids []string
+	switch *figures {
+	case "all":
+		ids = suite.FigureIDs()
+	case "none":
+	default:
+		ids = strings.Split(*figures, ",")
+	}
+	for _, id := range ids {
+		fig, err := suite.FigureByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		if err := report.WriteFigure(os.Stdout, fig, format); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *ablations || *figures == "none" {
+		if err := runAblations(suite.Opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runAblations(opts experiment.RunOptions) error {
+	gcc, err := workload.ByName("gcc")
+	if err != nil {
+		return err
+	}
+	fasta, err := workload.ByName("fasta")
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("== Section 4.4: counter width vs optimality (benchmark: gcc) ==")
+	fmt.Print(experiment.FormatCounterWidthStudy(
+		experiment.CounterWidthStudy(gcc, []int{2, 3, 4, 5}, opts)))
+	fmt.Println()
+
+	fmt.Println("== Figure 2 ablation: staggered vs uniform counter seeding ==")
+	for _, p := range experiment.StaggerStudy(experiment.Conv2GB) {
+		fmt.Printf("  staggered=%-5v max pending/tick=%d peak refreshes/ms=%d\n",
+			p.Staggered, p.MaxPendingPerTick, p.PeakRefreshesPerMs)
+	}
+	fmt.Println()
+
+	fmt.Println("== Section 5: segment count / pending queue sizing (benchmark: fasta) ==")
+	for _, p := range experiment.SegmentsStudy(fasta, []int{4, 8, 16}, opts) {
+		fmt.Printf("  segments=%-3d queue=%-3d max pending/tick=%d refresh ops=%d\n",
+			p.Segments, p.QueueDepth, p.MaxPendingPerTick, p.RefreshOps)
+	}
+	fmt.Println()
+
+	fmt.Println("== RAS-only bus overhead ablation (benchmark: gcc) ==")
+	for _, p := range experiment.BusOverheadStudy(gcc, opts) {
+		fmt.Printf("  bus overhead=%-5v smart refresh energy=%.3f mJ saving=%.2f%%\n",
+			p.WithOverhead, p.RefreshEnergyMJ, p.RefreshEnergySavingPct)
+	}
+	fmt.Println()
+
+	fmt.Println("== Retention-aware extension (RAPID/VRA + Smart Refresh, benchmark: gcc) ==")
+	for _, p := range experiment.RetentionAwareStudy(gcc, opts) {
+		fmt.Printf("  %-16s refresh ops=%-8d reduction=%6.2f%% refreshE=%8.3f mJ totalE=%8.3f mJ\n",
+			p.Policy, p.RefreshOps, p.RefreshReductionPct, p.RefreshEnergyMJ, p.TotalEnergyMJ)
+	}
+	fmt.Println()
+
+	fmt.Println("== Section 4.6: idle-OS self-disable ==")
+	d := experiment.DisableStudy(opts)
+	fmt.Printf("  disable circuitry engaged: %v\n", d.DisableSwitched)
+	fmt.Printf("  baseline total energy:       %10.3f mJ\n", d.Baseline.Energy.Total().Millijoules())
+	fmt.Printf("  smart (disable on) total:    %10.3f mJ (loss vs baseline: %.3f%%)\n",
+		d.WithDisable.Energy.Total().Millijoules(), d.EnergyLossPctWithDisable)
+	fmt.Printf("  smart (disable off) total:   %10.3f mJ\n",
+		d.WithoutDisable.Energy.Total().Millijoules())
+	fmt.Println()
+
+	fmt.Println("== Idle power management comparison (extension) ==")
+	for _, p := range experiment.IdlePowerStudy(opts) {
+		fmt.Printf("  %-18s total=%10.3f mJ controller refreshes=%d\n",
+			p.Name, p.TotalEnergyMJ, p.RefreshOps)
+	}
+	fmt.Println()
+
+	fmt.Println("== eDRAM refresh-interval study (introduction: NEC 4ms, IBM 64us) ==")
+	for _, p := range experiment.EDRAMStudy() {
+		fmt.Printf("  interval=%-8v baseline=%12.0f refr/s  refresh share=%5.1f%%  reduction=%6.2f%%  total saving=%6.2f%%\n",
+			p.Interval, p.BaselineRefreshesPerSec, p.BaselineRefreshSharePct,
+			p.RefreshReductionPct, p.TotalSavingPct)
+	}
+	return nil
+}

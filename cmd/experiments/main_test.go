@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunOneFigureSubset(t *testing.T) {
+	err := run([]string{
+		"-figures", "fig6", "-benchmarks", "fasta",
+		"-warmup-ms", "16", "-measure-ms", "16", "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	err := run([]string{
+		"-figures", "fig8", "-benchmarks", "gcc",
+		"-warmup-ms", "16", "-measure-ms", "16", "-quiet", "-format", "csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-figures", "fig99", "-benchmarks", "fasta", "-quiet"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

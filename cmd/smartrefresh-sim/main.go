@@ -1,0 +1,235 @@
+// Command smartrefresh-sim runs one DRAM simulation: a module preset, a
+// refresh policy, and either a synthetic benchmark workload or a trace
+// file, printing refresh, energy and latency results.
+//
+// Examples:
+//
+//	smartrefresh-sim -config table1-2gb -policy smart -benchmark gcc
+//	smartrefresh-sim -config table2-3d-32ms -policy cbr -benchmark mummer
+//	smartrefresh-sim -config table1-2gb -policy smart -trace run.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/experiment"
+	"smartrefresh/internal/memctrl"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/trace"
+	"smartrefresh/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "smartrefresh-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("smartrefresh-sim", flag.ContinueOnError)
+	cfgName := fs.String("config", "table1-2gb", "module preset: "+strings.Join(presetNames(), ", "))
+	policyName := fs.String("policy", "smart", "refresh policy: cbr, smart, burst, none, oracle, smart-retention")
+	benchmark := fs.String("benchmark", "gcc", "benchmark profile (see -list); ignored with -trace")
+	tracePath := fs.String("trace", "", "replay a trace file instead of a synthetic benchmark")
+	warmupMS := fs.Int("warmup-ms", 64, "warmup excluded from measurement, ms")
+	measureMS := fs.Int("measure-ms", 256, "measured window, ms")
+	check := fs.Bool("check", false, "verify the retention invariant during the run")
+	selfRefreshUS := fs.Int("selfrefresh-us", 0, "enter module self-refresh after this demand-idle time (0 = off)")
+	list := fs.Bool("list", false, "list benchmarks and presets, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Println("presets:   ", strings.Join(presetNames(), ", "))
+		fmt.Println("benchmarks:", strings.Join(workload.Names(), ", "))
+		return nil
+	}
+
+	cfg, ok := config.Presets()[*cfgName]
+	if !ok {
+		return fmt.Errorf("unknown preset %q (want one of %s)", *cfgName, strings.Join(presetNames(), ", "))
+	}
+	opts := experiment.RunOptions{
+		Warmup:           sim.Time(*warmupMS) * sim.Millisecond,
+		Measure:          sim.Time(*measureMS) * sim.Millisecond,
+		Stacked:          strings.HasPrefix(*cfgName, "table2"),
+		CheckRetention:   *check,
+		SelfRefreshAfter: sim.Time(*selfRefreshUS) * sim.Microsecond,
+	}
+	if *policyName == "smart-retention" {
+		return runRetentionAware(cfg, *benchmark, opts)
+	}
+	kind, err := parsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+
+	if *tracePath != "" {
+		return runTrace(cfg, kind, *tracePath, opts)
+	}
+
+	prof, err := workload.ByName(*benchmark)
+	if err != nil {
+		return err
+	}
+	res := experiment.Run(cfg, prof, kind, opts)
+	printResults(cfg, res.Results, opts.Measure, res.RetentionErr)
+	return nil
+}
+
+func presetNames() []string {
+	var names []string
+	for n := range config.Presets() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func parsePolicy(name string) (experiment.PolicyKind, error) {
+	switch name {
+	case "cbr":
+		return experiment.PolicyCBR, nil
+	case "smart":
+		return experiment.PolicySmart, nil
+	case "burst":
+		return experiment.PolicyBurst, nil
+	case "none":
+		return experiment.PolicyNone, nil
+	case "oracle":
+		return experiment.PolicyOracle, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// runRetentionAware runs the retention-aware extension policy, which the
+// experiment harness does not cover by PolicyKind.
+func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOptions) error {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return err
+	}
+	cfg.Smart.SelfDisable = false
+	rmap := core.NewRetentionMap(cfg.Geometry, core.DefaultRetentionClasses(), prof.Seed())
+	policy := core.NewRetentionAwareSmart(cfg.Geometry, cfg.RefreshInterval(), cfg.Smart, rmap)
+	ctl, err := memctrl.New(cfg, policy, memctrl.Options{
+		CheckRetention:   opts.CheckRetention,
+		SelfRefreshAfter: opts.SelfRefreshAfter,
+	})
+	if err != nil {
+		return err
+	}
+	gen := prof.NewSource(opts.Stacked)
+	end := opts.Warmup + opts.Measure
+	for {
+		rec, ok := gen.Next()
+		if !ok || rec.Time >= end {
+			break
+		}
+		ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
+	}
+	ctl.Finish(end)
+	printResults(cfg, ctl.Results(end), end, ctl.RetentionErr())
+	return nil
+}
+
+// runTrace replays a trace file directly against the controller.
+func runTrace(cfg config.DRAM, kind experiment.PolicyKind, path string, opts experiment.RunOptions) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var src trace.Source
+	var errf func() error
+	// Sniff the binary magic.
+	head := make([]byte, 8)
+	n, _ := f.Read(head)
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	if n == 8 && string(head) == "SRTRCE01" {
+		br := trace.NewBinaryReader(f)
+		src, errf = br, br.Err
+	} else {
+		tr := trace.NewTextReader(f)
+		src, errf = tr, tr.Err
+	}
+
+	policy := experiment.NewPolicy(cfg, kind)
+	ctl, err := memctrl.New(cfg, policy, memctrl.Options{CheckRetention: opts.CheckRetention})
+	if err != nil {
+		return err
+	}
+	var end sim.Time
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
+		end = rec.Time
+	}
+	if err := errf(); err != nil {
+		return err
+	}
+	end += cfg.Timing.RefreshInterval
+	ctl.Finish(end)
+	printResults(cfg, ctl.Results(end), end, ctl.RetentionErr())
+	return nil
+}
+
+func printResults(cfg config.DRAM, res memctrl.Results, window sim.Duration, retErr error) {
+	e := res.Energy
+	fmt.Printf("config            %s (%d rows, %v refresh interval)\n",
+		cfg.Name, cfg.Geometry.TotalRows(), cfg.Timing.RefreshInterval)
+	fmt.Printf("window            %v\n", window)
+	fmt.Printf("demand accesses   %d (%.1f%% row hits)\n",
+		res.Module.Accesses, pct(res.Module.RowHits, res.Module.Accesses))
+	fmt.Printf("latency           avg %.1f ns, p50 %.0f ns, p99 %.0f ns\n",
+		res.AvgLatencyNS, res.P50LatencyNS, res.P99LatencyNS)
+	fmt.Printf("refresh ops       %d (%d CBR, %d RAS-only; %.0f/s)\n",
+		res.Module.RefreshOps, res.Module.RefreshCBROps, res.Module.RefreshRASOnlyOps,
+		float64(res.Module.RefreshOps)/window.Seconds())
+	fmt.Printf("baseline rate     %.0f/s\n", cfg.BaselineRefreshesPerSecond())
+	fmt.Printf("demand stall      %v\n", res.Module.DemandStall)
+	fmt.Println("energy breakdown:")
+	fmt.Printf("  background      %10.3f mJ\n", e.Background.Millijoules())
+	fmt.Printf("  activate/pre    %10.3f mJ\n", e.ActPre.Millijoules())
+	fmt.Printf("  read            %10.3f mJ\n", e.Read.Millijoules())
+	fmt.Printf("  write           %10.3f mJ\n", e.Write.Millijoules())
+	fmt.Printf("  refresh array   %10.3f mJ\n", e.RefreshArray.Millijoules())
+	fmt.Printf("  refresh bus     %10.3f mJ\n", e.RefreshBus.Millijoules())
+	fmt.Printf("  counter array   %10.3f mJ\n", e.RefreshCounter.Millijoules())
+	fmt.Printf("  TOTAL           %10.3f mJ (refresh-related %.3f mJ, %.1f%%)\n",
+		e.Total().Millijoules(), e.RefreshRelated().Millijoules(),
+		100*float64(e.RefreshRelated())/float64(e.Total()))
+	if ps := res.Policy; ps.CounterReads > 0 || ps.TimeDisabled > 0 {
+		fmt.Printf("policy            %d counter reads, %d writes, %d access resets, max %d pending/tick",
+			ps.CounterReads, ps.CounterWrites, ps.AccessResets, ps.MaxPendingPerTick)
+		if ps.TimeDisabled > 0 {
+			fmt.Printf(", disabled for %v", ps.TimeDisabled)
+		}
+		fmt.Println()
+	}
+	if retErr != nil {
+		fmt.Printf("RETENTION VIOLATION: %v\n", retErr)
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

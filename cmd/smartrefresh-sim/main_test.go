@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	err := run([]string{
+		"-config", "table1-2gb", "-policy", "smart", "-benchmark", "fasta",
+		"-warmup-ms", "16", "-measure-ms", "16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStackedConfig(t *testing.T) {
+	err := run([]string{
+		"-config", "table2-3d-32ms", "-policy", "cbr", "-benchmark", "gcc",
+		"-warmup-ms", "8", "-measure-ms", "8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRetentionAwarePolicy(t *testing.T) {
+	err := run([]string{
+		"-config", "table1-2gb", "-policy", "smart-retention", "-benchmark", "gcc",
+		"-warmup-ms", "16", "-measure-ms", "16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-config", "nope"}); err == nil {
+		t.Error("unknown config accepted")
+	}
+	if err := run([]string{"-policy", "nope"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-benchmark", "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-trace", "/definitely/not/here"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewBinaryWriter(f)
+	for i := 0; i < 100; i++ {
+		if err := w.Write(trace.Record{Time: sim.Time(i) * sim.Microsecond, Addr: uint64(i) * 16384}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-config", "table1-2gb", "-policy", "smart", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTextTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(path, []byte("# test\n0 0x1000 R\n1500 0x2000 W\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", "table1-2gb", "-policy", "cbr", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartrefresh/internal/trace"
+)
+
+func TestGenerateBinaryTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.trc")
+	if err := run([]string{"-benchmark", "fasta", "-duration-ms", "2", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := trace.NewBinaryReader(f)
+	n := 0
+	var last trace.Record
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if rec.Time < last.Time {
+			t.Fatal("trace out of order")
+		}
+		last = rec
+		n++
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if n == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestGenerateTextTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := run([]string{"-benchmark", "gcc", "-stacked", "-duration-ms", "1", "-format", "text", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := trace.NewTextReader(f)
+	if _, ok := r.Next(); !ok {
+		t.Fatalf("no records: %v", r.Err())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-benchmark", "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-format", "xml", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

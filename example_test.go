@@ -1,0 +1,66 @@
+package smartrefresh_test
+
+import (
+	"fmt"
+
+	"smartrefresh"
+)
+
+// ExampleOptimality reproduces the section 4.4 arithmetic: a 2-bit
+// counter is 75% optimal, the simulated 3-bit counter 87.5%.
+func ExampleOptimality() {
+	for _, bits := range []int{2, 3} {
+		fmt.Printf("%d-bit: %.1f%%\n", bits, 100*smartrefresh.Optimality(bits))
+	}
+	// Output:
+	// 2-bit: 75.0%
+	// 3-bit: 87.5%
+}
+
+// ExampleCounterAreaKB reproduces the section 4.7 storage overhead: the
+// 2 GB module needs 48 KB of 3-bit counters.
+func ExampleCounterAreaKB() {
+	g := smartrefresh.Table1_2GB().Geometry
+	fmt.Printf("%.0f KB\n", smartrefresh.CounterAreaKB(g, 3))
+	// Output:
+	// 48 KB
+}
+
+// ExampleConfig_BaselineRefreshesPerSecond shows the baseline lines drawn
+// in Figures 6, 9, 12 and 15: every (rank, bank, row) refreshed once per
+// interval.
+func ExampleConfig_BaselineRefreshesPerSecond() {
+	fmt.Printf("2GB:    %.0f/s\n", smartrefresh.Table1_2GB().BaselineRefreshesPerSecond())
+	fmt.Printf("4GB:    %.0f/s\n", smartrefresh.Table1_4GB().BaselineRefreshesPerSecond())
+	fmt.Printf("3D64ms: %.0f/s\n", smartrefresh.Table2_3D64().BaselineRefreshesPerSecond())
+	fmt.Printf("3D32ms: %.0f/s\n", smartrefresh.Table2_3D32().BaselineRefreshesPerSecond())
+	// Output:
+	// 2GB:    2048000/s
+	// 4GB:    4096000/s
+	// 3D64ms: 1024000/s
+	// 3D32ms: 2048000/s
+}
+
+// ExampleRefreshIntervalAt shows the vendor temperature rule behind the
+// 3D cache's 32 ms interval.
+func ExampleRefreshIntervalAt() {
+	base := 64 * smartrefresh.Millisecond
+	fmt.Println(smartrefresh.RefreshIntervalAt(base, 45))
+	fmt.Println(smartrefresh.RefreshIntervalAt(base, smartrefresh.Stacked3DTemp))
+	// Output:
+	// 64ms
+	// 32ms
+}
+
+// ExampleRunPair runs the headline comparison on one benchmark.
+func ExampleRunPair() {
+	prof, _ := smartrefresh.ProfileByName("water-spatial")
+	pm := smartrefresh.RunPair(smartrefresh.Table1_2GB(), prof, smartrefresh.RunOptions{
+		Warmup:  64 * smartrefresh.Millisecond,
+		Measure: 128 * smartrefresh.Millisecond,
+	})
+	// water-spatial is the paper's best case: 85.7% of refreshes gone.
+	fmt.Printf("refresh reduction: %.1f%%\n", pm.RefreshReductionPct)
+	// Output:
+	// refresh reduction: 85.7%
+}

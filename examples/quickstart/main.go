@@ -1,0 +1,38 @@
+// Quickstart: run one benchmark against the paper's 2 GB DDR2 module and
+// compare the CBR baseline with Smart Refresh — the headline result of
+// the paper in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartrefresh"
+)
+
+func main() {
+	// The paper's Table 1 module: 2 GB DDR2-667, 2 ranks x 4 banks x
+	// 16384 rows, open-page policy, 64 ms refresh interval.
+	cfg := smartrefresh.Table1_2GB()
+
+	// A calibrated synthetic stand-in for SPECint2000 gcc.
+	prof, err := smartrefresh.ProfileByName("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One warmup interval, four measured intervals, baseline vs Smart.
+	pm := smartrefresh.RunPair(cfg, prof, smartrefresh.RunOptions{})
+
+	fmt.Printf("benchmark            %s\n", pm.Benchmark)
+	fmt.Printf("baseline refreshes   %.0f /s (CBR, every row every 64 ms)\n",
+		pm.BaselineRefreshesPerSec)
+	fmt.Printf("smart refreshes      %.0f /s\n", pm.SmartRefreshesPerSec)
+	fmt.Printf("refresh reduction    %.1f %%\n", pm.RefreshReductionPct)
+	fmt.Printf("refresh energy       %.3f mJ -> %.3f mJ (%.1f %% saved)\n",
+		pm.BaselineRefreshEnergyMJ, pm.SmartRefreshEnergyMJ, pm.RefreshEnergySavingPct)
+	fmt.Printf("total DRAM energy    %.3f mJ -> %.3f mJ (%.1f %% saved)\n",
+		pm.BaselineTotalEnergyMJ, pm.SmartTotalEnergyMJ, pm.TotalEnergySavingPct)
+	fmt.Printf("performance          %+.3f %% (refresh interference removed)\n",
+		pm.PerfImprovementPct)
+}

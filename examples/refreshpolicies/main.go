@@ -1,0 +1,64 @@
+// Refresh-policy comparison: run the same workload under every refresh
+// policy in the library — burst and distributed CBR (section 3), Smart
+// Refresh (section 4), the no-refresh lower bound, and the 100%-optimal
+// oracle (section 4.4) — with the retention checker proving which ones
+// actually keep data alive, and the section 4.4 optimality formula next
+// to measured behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartrefresh"
+)
+
+func main() {
+	cfg := smartrefresh.Table1_2GB()
+	prof, err := smartrefresh.ProfileByName("twolf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := smartrefresh.RunOptions{
+		Warmup:         64 * smartrefresh.Millisecond,
+		Measure:        192 * smartrefresh.Millisecond,
+		CheckRetention: true,
+	}
+
+	fmt.Printf("workload %s on %s, retention deadline %v\n\n",
+		prof.Name, cfg.Name, cfg.Timing.RefreshInterval)
+	fmt.Printf("%-8s %14s %14s %14s %10s\n",
+		"policy", "refreshes/s", "refreshE (mJ)", "totalE (mJ)", "retention")
+
+	kinds := []smartrefresh.PolicyKind{
+		smartrefresh.PolicyBurst,
+		smartrefresh.PolicyCBR,
+		smartrefresh.PolicySmart,
+		smartrefresh.PolicyOracle,
+		smartrefresh.PolicyNone,
+	}
+	for _, kind := range kinds {
+		res := smartrefresh.Run(cfg, prof, kind, opts)
+		verdict := "ok"
+		if res.RetentionErr != nil {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("%-8v %14.0f %14.3f %14.3f %10s\n",
+			kind,
+			res.RefreshesPerSecond(),
+			res.Results.Energy.RefreshRelated().Millijoules(),
+			res.Results.Energy.Total().Millijoules(),
+			verdict)
+	}
+
+	fmt.Println("\nSection 4.4 optimality (how close refreshes sit to the deadline):")
+	for _, bits := range []int{2, 3, 4, 5} {
+		fmt.Printf("  %d-bit counters: %.2f %% optimal, counter array %v KB\n",
+			bits, 100*smartrefresh.Optimality(bits),
+			smartrefresh.CounterAreaKB(cfg.Geometry, bits))
+	}
+	fmt.Println("\nThe oracle is 100% optimal but needs a full timestamp per row;")
+	fmt.Println("Smart Refresh reaches 87.5% with 3 bits per row (48 KB for 2 GB).")
+	fmt.Println("'none' wins on energy but silently loses data - the retention")
+	fmt.Println("checker flags it, and would flag any scheduling bug the same way.")
+}

@@ -1,0 +1,70 @@
+// 3D die-stacked DRAM cache study: the paper's sections 4.5/7.2. The
+// 64 MB stacked DRAM serves as an L3 cache; it runs hot (90.27 degC per
+// the die-stacking feasibility study the paper cites), so its refresh
+// interval must drop from 64 ms to 32 ms — doubling refresh traffic.
+// Smart Refresh exploits the cache's high access rate to win back much of
+// that cost. This example also drives the 3D cache front-end (SRAM tags +
+// DRAM data array) directly to show hit/miss behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartrefresh"
+	"smartrefresh/internal/cache"
+	"smartrefresh/internal/config"
+)
+
+func main() {
+	opts := smartrefresh.RunOptions{
+		Warmup:  64 * smartrefresh.Millisecond,
+		Measure: 192 * smartrefresh.Millisecond,
+		Stacked: true,
+	}
+
+	fmt.Println("== 64 MB 3D DRAM cache: Smart Refresh vs CBR baseline ==")
+	fmt.Printf("%-12s %-9s %14s %12s %12s %12s\n",
+		"benchmark", "interval", "smart refr/s", "refr -%", "refrE -%", "totalE -%")
+	for _, name := range []string{"fasta", "mummer", "gcc", "water-spatial", "gcc_twolf"} {
+		prof, err := smartrefresh.ProfileByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kind := range []smartrefresh.ConfigKind{smartrefresh.Stacked3D64, smartrefresh.Stacked3D32} {
+			cfg := kind.DRAM()
+			pm := smartrefresh.RunPair(cfg, prof, opts)
+			fmt.Printf("%-12s %-9v %14.0f %12.1f %12.1f %12.1f\n",
+				name, cfg.Timing.RefreshInterval, pm.SmartRefreshesPerSec,
+				pm.RefreshReductionPct, pm.RefreshEnergySavingPct, pm.TotalEnergySavingPct)
+		}
+	}
+	fmt.Println()
+
+	// Drive the cache front-end directly: an SRAM tag array on the
+	// processor die in front of the stacked DRAM data array. Every hit is
+	// a DRAM access in the stacked die — which is exactly what makes
+	// Smart Refresh effective there.
+	fmt.Println("== 3D cache front-end behaviour (mummer stream) ==")
+	front := cache.NewDRAMCache(config.Table2_3DCache())
+	prof, err := smartrefresh.ProfileByName("mummer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := prof.NewSource(true)
+	var dataAccesses, memTraffic int
+	for i := 0; i < 200000; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		res := front.Access(rec.Time, rec.Addr, rec.Write)
+		dataAccesses += len(res.DataAccesses)
+		memTraffic += len(res.MemoryTraffic)
+	}
+	st := front.Tags().Stats()
+	fmt.Printf("accesses            %d\n", st.Accesses)
+	fmt.Printf("hit rate            %.1f %% (after warmup the working set fits)\n", 100*st.HitRate())
+	fmt.Printf("stacked-DRAM ops    %d (hits + victim reads + fills)\n", dataAccesses)
+	fmt.Printf("backing-DRAM ops    %d (cold fills; negligible in steady state per the paper)\n", memTraffic)
+}

@@ -1,0 +1,165 @@
+package smartrefresh
+
+import (
+	"io"
+
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/experiment"
+	"smartrefresh/internal/report"
+	"smartrefresh/internal/thermal"
+)
+
+// This file exposes the library's extensions beyond the paper's core
+// mechanism: the thermal model behind the 3D cache's doubled refresh
+// rate, the retention-aware (RAPID/VRA-style) combination the paper's
+// related work describes as orthogonal, and report rendering.
+
+// Thermal model (section 4.5's motivation).
+
+// Stacked3DTemp is the stacked-DRAM operating temperature the paper
+// cites (90.27 degC).
+const Stacked3DTemp = thermal.Stacked3DTemp
+
+// RefreshIntervalAt returns the refresh interval required at tempC given
+// the base interval, applying the vendor above-85-degC doubling rule.
+func RefreshIntervalAt(base Duration, tempC float64) Duration {
+	return thermal.RefreshInterval(base, tempC)
+}
+
+// StackLayerTemp estimates the temperature of the n-th stacked DRAM
+// layer with the default die-stack parameters (layer 1 reproduces the
+// paper's 90.27 degC).
+func StackLayerTemp(layer int) float64 {
+	return thermal.DefaultStack().LayerTemp(layer)
+}
+
+// Retention-aware extension.
+
+type (
+	// RetentionClass is one bin of rows sharing a retention multiplier.
+	RetentionClass = core.RetentionClass
+	// RetentionMap assigns a retention multiplier to every row.
+	RetentionMap = core.RetentionMap
+)
+
+// DefaultRetentionClasses returns the 20/50/30% distribution at 1x/2x/4x
+// retention used by the extension study.
+func DefaultRetentionClasses() []RetentionClass { return core.DefaultRetentionClasses() }
+
+// NewRetentionMap assigns rows to retention classes deterministically.
+func NewRetentionMap(g Geometry, classes []RetentionClass, seed uint64) *RetentionMap {
+	return core.NewRetentionMap(g, classes, seed)
+}
+
+// NewRetentionAwarePolicy combines Smart Refresh with per-row retention
+// classes: idle rows of class c are refreshed every c intervals.
+func NewRetentionAwarePolicy(cfg Config, rmap *RetentionMap) Policy {
+	return core.NewRetentionAwareSmart(cfg.Geometry, cfg.RefreshInterval(), cfg.Smart, rmap)
+}
+
+// Dead-row elision (Ohsawa et al., section 8).
+
+type (
+	// DeadRowSet tracks rows software declared dead (no live data).
+	DeadRowSet = core.DeadRowSet
+	// DeadRowFilter wraps a policy, skipping refreshes of dead rows.
+	DeadRowFilter = core.DeadRowFilter
+)
+
+// NewDeadRowSet creates an empty dead-row set.
+func NewDeadRowSet(g Geometry) *DeadRowSet { return core.NewDeadRowSet(g) }
+
+// NewDeadRowFilter wraps a policy with dead-row elision (RAS-only
+// commands only; CBR refresh is not addressable and passes through).
+func NewDeadRowFilter(inner Policy, set *DeadRowSet) *DeadRowFilter {
+	return core.NewDeadRowFilter(inner, set)
+}
+
+// Report rendering.
+
+// ReportFormat selects figure/table output encoding.
+type ReportFormat = report.Format
+
+// Report formats.
+const (
+	FormatText     = report.Text
+	FormatCSV      = report.CSV
+	FormatMarkdown = report.Markdown
+	FormatJSON     = report.JSON
+)
+
+// WriteFigure renders one reproduced figure.
+func WriteFigure(w io.Writer, fig Figure, format ReportFormat) error {
+	return report.WriteFigure(w, fig, format)
+}
+
+// WritePairMetrics renders a sweep's baseline-vs-Smart comparison table.
+func WritePairMetrics(w io.Writer, rows []PairMetrics, format ReportFormat) error {
+	return report.WritePairMetrics(w, rows, format)
+}
+
+// Ablation studies (DESIGN.md section 5).
+
+type (
+	// CounterWidthPoint is one row of the section 4.4 optimality study.
+	CounterWidthPoint = experiment.CounterWidthPoint
+	// StaggerPoint compares staggered and uniform counter seeding.
+	StaggerPoint = experiment.StaggerPoint
+	// SegmentsPoint is one row of the queue sizing study.
+	SegmentsPoint = experiment.SegmentsPoint
+	// BusOverheadPoint isolates the RAS-only address-bus cost.
+	BusOverheadPoint = experiment.BusOverheadPoint
+	// RetentionAwarePoint is one row of the extension study.
+	RetentionAwarePoint = experiment.RetentionAwarePoint
+	// DisableStudyResult captures the section 4.6 idle-OS experiment.
+	DisableStudyResult = experiment.DisableStudyResult
+)
+
+// CounterWidthStudy sweeps the time-out counter width (section 4.4).
+func CounterWidthStudy(prof Profile, bits []int, opts RunOptions) []CounterWidthPoint {
+	return experiment.CounterWidthStudy(prof, bits, opts)
+}
+
+// StaggerStudy measures the figure 2 burst hazard with and without the
+// staggered seed.
+func StaggerStudy(kind ConfigKind) []StaggerPoint {
+	return experiment.StaggerStudy(kind)
+}
+
+// SegmentsStudy sweeps the segment count / pending queue depth.
+func SegmentsStudy(prof Profile, segments []int, opts RunOptions) []SegmentsPoint {
+	return experiment.SegmentsStudy(prof, segments, opts)
+}
+
+// BusOverheadStudy isolates the RAS-only refresh bus cost.
+func BusOverheadStudy(prof Profile, opts RunOptions) []BusOverheadPoint {
+	return experiment.BusOverheadStudy(prof, opts)
+}
+
+// RetentionAwareStudy compares CBR, Smart and retention-aware Smart.
+func RetentionAwareStudy(prof Profile, opts RunOptions) []RetentionAwarePoint {
+	return experiment.RetentionAwareStudy(prof, opts)
+}
+
+// DisableStudy runs the section 4.6 idle-OS experiment.
+func DisableStudy(opts RunOptions) DisableStudyResult {
+	return experiment.DisableStudy(opts)
+}
+
+// IdlePowerPoint is one row of the idle-power management comparison.
+type IdlePowerPoint = experiment.IdlePowerPoint
+
+// IdlePowerStudy compares CBR, Smart-with-disable and module self-refresh
+// on the near-idle workload.
+func IdlePowerStudy(opts RunOptions) []IdlePowerPoint {
+	return experiment.IdlePowerStudy(opts)
+}
+
+// EDRAMPoint is one row of the embedded-DRAM refresh-interval study.
+type EDRAMPoint = experiment.EDRAMPoint
+
+// EDRAMStudy sweeps the refresh intervals the paper's introduction cites
+// (64 ms commodity, 4 ms NEC eDRAM, 64 us IBM eDRAM) with one fixed
+// workload, showing where Smart Refresh's benefit holds and where no
+// realistic traffic can beat the retention deadline.
+func EDRAMStudy() []EDRAMPoint { return experiment.EDRAMStudy() }

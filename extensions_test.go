@@ -1,0 +1,100 @@
+package smartrefresh_test
+
+import (
+	"strings"
+	"testing"
+
+	"smartrefresh"
+)
+
+func TestThermalAPI(t *testing.T) {
+	if smartrefresh.Stacked3DTemp != 90.27 {
+		t.Errorf("Stacked3DTemp = %v", smartrefresh.Stacked3DTemp)
+	}
+	base := 64 * smartrefresh.Millisecond
+	if got := smartrefresh.RefreshIntervalAt(base, 45); got != base {
+		t.Errorf("interval at 45C = %v", got)
+	}
+	if got := smartrefresh.RefreshIntervalAt(base, smartrefresh.Stacked3DTemp); got != base/2 {
+		t.Errorf("interval at stack temp = %v", got)
+	}
+	if temp := smartrefresh.StackLayerTemp(1); temp < 90 || temp > 91 {
+		t.Errorf("layer 1 temp = %v", temp)
+	}
+	// The Table 2 32 ms preset is derived from exactly this rule.
+	if smartrefresh.Table2_3D32().Timing.RefreshInterval != base/2 {
+		t.Error("3D-32ms preset does not follow the thermal rule")
+	}
+}
+
+func TestRetentionAwareAPI(t *testing.T) {
+	cfg := smartrefresh.Table1_2GB()
+	cfg.Geometry.Rows = 64 // keep the test light
+	cfg.Power.Geometry = cfg.Geometry
+	cfg.Smart.SelfDisable = false
+	rmap := smartrefresh.NewRetentionMap(cfg.Geometry, smartrefresh.DefaultRetentionClasses(), 1)
+	p := smartrefresh.NewRetentionAwarePolicy(cfg, rmap)
+	if p.Name() != "smart-retention" {
+		t.Errorf("name = %q", p.Name())
+	}
+	// Idle: fewer refreshes than the base rate over a few intervals.
+	interval := cfg.RefreshInterval()
+	p.Advance(4*interval, nil)
+	before := p.Stats().RefreshesRequested
+	p.Advance(8*interval, nil)
+	got := p.Stats().RefreshesRequested - before
+	baseline := uint64(4 * cfg.Geometry.TotalRows())
+	if got >= baseline {
+		t.Errorf("retention-aware idle refreshes %d >= baseline %d", got, baseline)
+	}
+}
+
+func TestReportAPI(t *testing.T) {
+	if _, err := smartrefresh.NewSuite().FigureByID("nope"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	s := smartrefresh.NewSuite()
+	s.Benchmarks = []string{"fasta"}
+	s.Opts = smartrefresh.RunOptions{
+		Warmup:  64 * smartrefresh.Millisecond,
+		Measure: 64 * smartrefresh.Millisecond,
+	}
+	fig, err := s.FigureByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := smartrefresh.WriteFigure(&sb, fig, smartrefresh.FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig6,fasta,") {
+		t.Errorf("CSV output wrong:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := smartrefresh.WriteFigure(&sb, fig, smartrefresh.FormatMarkdown); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "### fig6") {
+		t.Errorf("markdown output wrong:\n%s", sb.String())
+	}
+}
+
+func TestAblationAPIs(t *testing.T) {
+	prof, err := smartrefresh.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smartrefresh.RunOptions{
+		Warmup:  64 * smartrefresh.Millisecond,
+		Measure: 64 * smartrefresh.Millisecond,
+	}
+	if pts := smartrefresh.StaggerStudy(smartrefresh.Conv2GB); len(pts) != 2 {
+		t.Errorf("stagger study points = %d", len(pts))
+	}
+	if pts := smartrefresh.BusOverheadStudy(prof, opts); len(pts) != 2 {
+		t.Errorf("bus study points = %d", len(pts))
+	}
+	if pts := smartrefresh.RetentionAwareStudy(prof, opts); len(pts) != 3 {
+		t.Errorf("retention study points = %d", len(pts))
+	}
+}

@@ -1,0 +1,3 @@
+module smartrefresh
+
+go 1.22

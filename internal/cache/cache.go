@@ -1,0 +1,204 @@
+// Package cache implements the SRAM cache hierarchy the paper's
+// methodology uses (Ruby's role): set-associative write-back caches with
+// LRU replacement for L1/L2, and the 3D die-stacked DRAM cache of section
+// 4.5/6 — a direct-mapped cache whose tag array is SRAM on the processor
+// die and whose data array is the stacked DRAM module, so every cache
+// access (hit or fill) becomes DRAM activity in the stacked device.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"smartrefresh/internal/config"
+)
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	Fills      uint64
+}
+
+// HitRate returns hits/accesses (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Result describes the outcome of one cache access.
+type Result struct {
+	Hit bool
+	// Writeback, when WritebackValid, is the line address of a dirty
+	// victim that must be written to the next level.
+	Writeback      uint64
+	WritebackValid bool
+	// Fill, when FillValid, is the line address that must be fetched from
+	// the next level (always the accessed line on a miss).
+	Fill      uint64
+	FillValid bool
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a blocking set-associative write-back cache with true-LRU
+// replacement and write-allocate. It is not safe for concurrent use.
+type Cache struct {
+	cfg      config.CacheConfig
+	sets     [][]line // each set ordered most- to least-recently used
+	setMask  uint64
+	lineBits uint
+	stats    Stats
+}
+
+// New builds a cache from a validated configuration; it panics on an
+// invalid one (a configuration bug, not a runtime condition).
+func New(cfg config.CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.SizeBytes / int64(cfg.LineBytes)
+	sets := int(lines / int64(cfg.Ways))
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]line, sets),
+		setMask:  uint64(sets - 1),
+		lineBits: uint(bits.TrailingZeros64(uint64(cfg.LineBytes))),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, 0, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() config.CacheConfig { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr returns addr rounded down to its line.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	l := addr >> c.lineBits
+	return int(l & c.setMask), l >> bits.TrailingZeros64(c.setMask+1)
+}
+
+// Access performs a read or write with write-allocate. On a miss the line
+// is installed; a dirty victim is reported for write-back to the next
+// level.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.stats.Accesses++
+	setIdx, tag := c.index(addr)
+	set := c.sets[setIdx]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			// Hit: move to MRU position.
+			hitLine := set[i]
+			if write {
+				hitLine.dirty = true
+			}
+			copy(set[1:i+1], set[:i])
+			set[0] = hitLine
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss.
+	c.stats.Misses++
+	res := Result{Fill: c.LineAddr(addr), FillValid: true}
+	c.stats.Fills++
+	newLine := line{tag: tag, valid: true, dirty: write}
+
+	if len(set) < c.cfg.Ways {
+		set = append(set, line{})
+		copy(set[1:], set)
+		set[0] = newLine
+		c.sets[setIdx] = set
+		return res
+	}
+	victim := set[len(set)-1]
+	if victim.valid && victim.dirty {
+		res.Writeback = c.victimAddr(setIdx, victim.tag)
+		res.WritebackValid = true
+		c.stats.Writebacks++
+	}
+	copy(set[1:], set)
+	set[0] = newLine
+	return res
+}
+
+// Contains reports whether the line holding addr is present (no LRU or
+// statistics side effects).
+func (c *Cache) Contains(addr uint64) bool {
+	setIdx, tag := c.index(addr)
+	for _, l := range c.sets[setIdx] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Dirty reports whether the line holding addr is present and dirty.
+func (c *Cache) Dirty(addr uint64) bool {
+	setIdx, tag := c.index(addr)
+	for _, l := range c.sets[setIdx] {
+		if l.valid && l.tag == tag {
+			return l.dirty
+		}
+	}
+	return false
+}
+
+func (c *Cache) victimAddr(setIdx int, tag uint64) uint64 {
+	setBits := uint(bits.TrailingZeros64(c.setMask + 1))
+	return ((tag << setBits) | uint64(setIdx)) << c.lineBits
+}
+
+// Flush evicts every line, returning the addresses of dirty lines in
+// deterministic order.
+func (c *Cache) Flush() []uint64 {
+	var dirty []uint64
+	for si := range c.sets {
+		for _, l := range c.sets[si] {
+			if l.valid && l.dirty {
+				dirty = append(dirty, c.victimAddr(si, l.tag))
+			}
+		}
+		c.sets[si] = c.sets[si][:0]
+	}
+	return dirty
+}
+
+// Invariant checks internal consistency (used by property tests): no
+// duplicate tags within a set and no over-full sets.
+func (c *Cache) Invariant() error {
+	for si, set := range c.sets {
+		if len(set) > c.cfg.Ways {
+			return fmt.Errorf("cache: set %d holds %d lines, ways %d", si, len(set), c.cfg.Ways)
+		}
+		seen := map[uint64]bool{}
+		for _, l := range set {
+			if !l.valid {
+				continue
+			}
+			if seen[l.tag] {
+				return fmt.Errorf("cache: duplicate tag %#x in set %d", l.tag, si)
+			}
+			seen[l.tag] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/sim"
+)
+
+func tinyCache(ways int) *Cache {
+	return New(config.CacheConfig{
+		Name: "t", SizeBytes: int64(ways) * 4 * 64, LineBytes: 64, Ways: ways, WriteBack: true,
+	})
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := tinyCache(2)
+	if r := c.Access(0, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if r := c.Access(63, false); !r.Hit {
+		t.Fatal("same-line access missed")
+	}
+	if r := c.Access(64, false); r.Hit {
+		t.Fatal("next line hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	c := tinyCache(2) // 4 sets, 2 ways; set stride = 4*64 = 256
+	// Fill set 0 with two lines, touch the first, then insert a third:
+	// the second must be evicted.
+	c.Access(0, false)    // line A
+	c.Access(1024, false) // line B (same set: 1024 = 4*256)
+	c.Access(0, false)    // A is MRU
+	c.Access(2048, false) // line C evicts B
+	if !c.Contains(0) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Contains(1024) {
+		t.Error("B survived despite being LRU")
+	}
+	if !c.Contains(2048) {
+		t.Error("C not installed")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := tinyCache(1) // direct mapped, 4 sets
+	c.Access(0, true) // dirty line at 0
+	r := c.Access(1024, false)
+	if !r.WritebackValid || r.Writeback != 0 {
+		t.Fatalf("expected writeback of line 0, got %+v", r)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Error("writeback not counted")
+	}
+	// Clean eviction must not write back.
+	r = c.Access(2048, false)
+	if r.WritebackValid {
+		t.Fatalf("clean eviction produced writeback: %+v", r)
+	}
+}
+
+func TestCacheWriteAllocateAndDirtyPropagation(t *testing.T) {
+	c := tinyCache(2)
+	c.Access(0, false)
+	if c.Dirty(0) {
+		t.Error("clean line marked dirty")
+	}
+	c.Access(32, true) // write hit dirties the line
+	if !c.Dirty(0) {
+		t.Error("write hit did not dirty line")
+	}
+}
+
+func TestCacheFillAddressIsLineAligned(t *testing.T) {
+	c := tinyCache(2)
+	r := c.Access(1000, false)
+	if !r.FillValid || r.Fill != 960 {
+		t.Fatalf("fill = %+v, want line 960", r)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := tinyCache(2)
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Access(128, true)
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("flush returned %v", dirty)
+	}
+	if c.Contains(0) || c.Contains(64) {
+		t.Error("lines survive flush")
+	}
+}
+
+func TestVictimAddrRoundTrip(t *testing.T) {
+	// Evicting and refilling the same address must report the original
+	// line address.
+	c := tinyCache(1)
+	addr := uint64(3*256 + 64*0) // set 3
+	c.Access(addr, true)
+	r := c.Access(addr+1024, false)
+	if !r.WritebackValid || r.Writeback != addr {
+		t.Fatalf("victim addr = %+v, want %d", r, addr)
+	}
+}
+
+// Property: after any access sequence the cache invariants hold, and a
+// just-accessed line is always present.
+func TestCacheInvariantProperty(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c := tinyCache(4)
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(uint64(a), w)
+			if c.Invariant() != nil {
+				return false
+			}
+			if !c.Contains(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits + misses == accesses and fills == misses.
+func TestCacheAccountingProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := tinyCache(2)
+		for _, a := range addrs {
+			c.Access(uint64(a), false)
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses && st.Fills == st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable1L2Shape(t *testing.T) {
+	l2 := New(config.Table1L2())
+	// 1 MB / 64 B = 16384 lines / 8 ways = 2048 sets.
+	if len(l2.sets) != 2048 {
+		t.Errorf("L2 sets = %d, want 2048", len(l2.sets))
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := tinyCache(2)
+	if c.Stats().HitRate() != 0 {
+		t.Error("idle hit rate not 0")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	if hr := c.Stats().HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v", hr)
+	}
+}
+
+func TestHierarchyFiltersHits(t *testing.T) {
+	h := NewHierarchy(
+		config.CacheConfig{Name: "l1", SizeBytes: 1024, LineBytes: 64, Ways: 2, WriteBack: true},
+		config.CacheConfig{Name: "l2", SizeBytes: 4096, LineBytes: 64, Ways: 4, WriteBack: true},
+	)
+	out := h.Access(0, 0, false)
+	if len(out) != 1 || out[0].Write {
+		t.Fatalf("cold miss should reach memory as one read, got %v", out)
+	}
+	out = h.Access(1, 0, false)
+	if len(out) != 0 {
+		t.Fatalf("L1 hit leaked to memory: %v", out)
+	}
+}
+
+func TestHierarchyWritebackCascade(t *testing.T) {
+	h := NewHierarchy(
+		config.CacheConfig{Name: "l1", SizeBytes: 128, LineBytes: 64, Ways: 1, WriteBack: true},
+		config.CacheConfig{Name: "l2", SizeBytes: 256, LineBytes: 64, Ways: 1, WriteBack: true},
+	)
+	// Dirty a line in tiny L1, then evict it through conflicting lines;
+	// the writeback lands in L2, and further conflict pushes it to memory.
+	h.Access(0, 0, true)
+	var toMem []MemRequest
+	for i := uint64(1); i < 8; i++ {
+		out := h.Access(sim.Time(i), i*128, false)
+		toMem = append(toMem, out...)
+	}
+	foundWrite := false
+	for _, r := range toMem {
+		if r.Write && r.Addr == 0 {
+			foundWrite = true
+		}
+	}
+	if !foundWrite {
+		t.Error("dirty line never written back to memory")
+	}
+}
+
+func TestHierarchyFlushAll(t *testing.T) {
+	h := NewHierarchy(config.CacheConfig{Name: "l1", SizeBytes: 1024, LineBytes: 64, Ways: 2, WriteBack: true})
+	h.Access(0, 0, true)
+	h.Access(0, 64, false)
+	out := h.FlushAll(100)
+	if len(out) != 1 || !out[0].Write || out[0].Addr != 0 {
+		t.Fatalf("FlushAll = %v", out)
+	}
+}
+
+func TestDRAMCacheHitTouchesDataArray(t *testing.T) {
+	d := NewDRAMCache(config.CacheConfig{
+		Name: "3d", SizeBytes: 4096, LineBytes: 64, Ways: 1, WriteBack: true,
+	})
+	r := d.Access(0, 100, false)
+	if r.Hit {
+		t.Fatal("cold access hit")
+	}
+	// Miss: fill write to data array + memory read.
+	if len(r.DataAccesses) != 1 || !r.DataAccesses[0].Write {
+		t.Fatalf("miss data accesses = %v", r.DataAccesses)
+	}
+	if len(r.MemoryTraffic) != 1 || r.MemoryTraffic[0].Write {
+		t.Fatalf("miss memory traffic = %v", r.MemoryTraffic)
+	}
+	r = d.Access(1, 100, false)
+	if !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if len(r.DataAccesses) != 1 || r.DataAccesses[0].Write {
+		t.Fatalf("hit data accesses = %v", r.DataAccesses)
+	}
+	if len(r.MemoryTraffic) != 0 {
+		t.Fatalf("hit produced memory traffic: %v", r.MemoryTraffic)
+	}
+}
+
+func TestDRAMCacheDirtyEviction(t *testing.T) {
+	d := NewDRAMCache(config.CacheConfig{
+		Name: "3d", SizeBytes: 4096, LineBytes: 64, Ways: 1, WriteBack: true,
+	})
+	d.Access(0, 0, true)          // dirty line 0
+	r := d.Access(1, 4096, false) // conflicts in direct-mapped 4 KB cache
+	if r.Hit {
+		t.Fatal("conflicting access hit")
+	}
+	// Victim read from data array + fill write; victim write + fill read
+	// to memory.
+	if len(r.DataAccesses) != 2 {
+		t.Fatalf("data accesses = %v", r.DataAccesses)
+	}
+	if r.DataAccesses[0].Write || !r.DataAccesses[1].Write {
+		t.Fatalf("data access kinds = %v", r.DataAccesses)
+	}
+	if len(r.MemoryTraffic) != 2 {
+		t.Fatalf("memory traffic = %v", r.MemoryTraffic)
+	}
+	if !r.MemoryTraffic[0].Write || r.MemoryTraffic[1].Write {
+		t.Fatalf("memory traffic kinds = %v", r.MemoryTraffic)
+	}
+}
+
+func TestDRAMCacheDataAddrWithinModule(t *testing.T) {
+	d := NewDRAMCache(config.Table2_3DCache())
+	r := d.Access(0, 1<<30, false) // far beyond 64 MB
+	for _, a := range r.DataAccesses {
+		if a.Addr >= 64<<20 {
+			t.Fatalf("data address %d outside 64 MB module", a.Addr)
+		}
+	}
+}
+
+// Property: direct-mapped DRAM cache conflict behaviour — two addresses
+// that differ by a multiple of the cache size always conflict.
+func TestDRAMCacheConflictProperty(t *testing.T) {
+	d := NewDRAMCache(config.CacheConfig{
+		Name: "3d", SizeBytes: 1 << 20, LineBytes: 64, Ways: 1, WriteBack: true,
+	})
+	f := func(base uint32, k uint8) bool {
+		a := uint64(base)
+		b := a + (uint64(k%4)+1)*(1<<20)
+		d.Access(0, a, false)
+		r := d.Access(1, b, false)
+		if r.Hit {
+			return false
+		}
+		r2 := d.Access(2, a, false)
+		return !r2.Hit // b evicted a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

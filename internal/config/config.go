@@ -1,0 +1,255 @@
+// Package config assembles the paper's experimental configurations:
+// Table 1 (conventional 2 GB and 4 GB DDR2 modules plus the 1 MB L2),
+// Table 2 (the 64 MB 3D die-stacked DRAM cache at 64 ms and 32 ms refresh),
+// and Table 3 (bus energy parameters), together with the power-model
+// calibration each configuration uses.
+package config
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/power"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/thermal"
+)
+
+// DRAM bundles everything needed to simulate one DRAM module under one
+// refresh policy: geometry, timing, the power model, and the Smart Refresh
+// parameters.
+type DRAM struct {
+	Name     string
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	Power    power.Model
+	Smart    core.SmartConfig
+}
+
+// Validate checks the full bundle.
+func (c DRAM) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("config: empty name")
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if err := c.Smart.Validate(); err != nil {
+		return err
+	}
+	if c.Geometry.TotalRows()%c.Smart.Segments != 0 {
+		return fmt.Errorf("config: %d rows not divisible by %d segments",
+			c.Geometry.TotalRows(), c.Smart.Segments)
+	}
+	return nil
+}
+
+// RefreshInterval returns the configured retention deadline.
+func (c DRAM) RefreshInterval() sim.Duration { return c.Timing.RefreshInterval }
+
+// BaselineRefreshesPerSecond returns the CBR baseline refresh rate: every
+// (channel, rank, bank, row) once per interval. For Table 1's 2 GB module
+// this is the 2,048,000/s line in Figure 6.
+func (c DRAM) BaselineRefreshesPerSecond() float64 {
+	return float64(c.Geometry.TotalRows()) / c.Timing.RefreshInterval.Seconds()
+}
+
+// Table1_2GB returns the 2 GB conventional module of Table 1:
+// DDR2-667, 16384 rows, 4 banks, 2 ranks, 2048 columns, 72-bit data width,
+// open page, 64 ms refresh.
+func Table1_2GB() DRAM {
+	g := dram.Geometry{
+		Channels: 1, Ranks: 2, Banks: 4, Rows: 16384, Columns: 2048,
+		DataWidthBits: 72, BurstLength: 4, DevicesPerRank: 18,
+	}
+	t := dram.DDR2_667(64 * sim.Millisecond)
+	currents := power.MicronDDR2_667()
+	// The 2 GB registered module uses high-density devices whose refresh
+	// current runs well above the base grade (Micron 2Gb DDR2 parts list
+	// IDD5 up to ~280 mA); together with DRAMsim-style precharge
+	// power-down on idle ranks this calibration puts baseline refresh
+	// energy at the low-20% share of total DRAM energy implied by the
+	// Figure 7 -> Figure 8 ratio (52.57% refresh savings -> 12.13% total).
+	currents.IDD5 = 255
+	return DRAM{
+		Name:     "table1-2gb",
+		Geometry: g,
+		Timing:   t,
+		Power: power.Model{
+			Currents:          currents,
+			Geometry:          g,
+			Timing:            t,
+			Bus:               power.Table3Bus(g.Ranks),
+			Counter:           power.Artisan90nm(),
+			PowerDownFraction: 0.5,
+			BackgroundScale:   1,
+		},
+		Smart: core.DefaultSmartConfig(),
+	}
+}
+
+// Table1_4GB returns the 4 GB variant: Table 1 allows "4 and 8" banks; the
+// 4 GB module doubles the banks, which doubles the rows to refresh (the
+// paper: "the 4GB DRAM module has double the number of banks").
+func Table1_4GB() DRAM {
+	c := Table1_2GB()
+	c.Name = "table1-4gb"
+	c.Geometry.Banks = 8
+	c.Power.Geometry = c.Geometry
+	return c
+}
+
+// Table2_3D64 returns the 64 MB 3D die-stacked DRAM cache of Table 2 with
+// the 64 ms refresh interval: 16384 rows, 4 banks, 1 rank, 128 columns,
+// 72-bit width, open page, direct mapped.
+func Table2_3D64(interval sim.Duration) DRAM {
+	g := dram.Geometry{
+		Channels: 1, Ranks: 1, Banks: 4, Rows: 16384, Columns: 128,
+		DataWidthBits: 72, BurstLength: 4, DevicesPerRank: 2,
+	}
+	t := dram.DDR2_667(interval)
+	name := "table2-3d-64ms"
+	if interval == 32*sim.Millisecond {
+		name = "table2-3d-32ms"
+	}
+	return DRAM{
+		Name:     name,
+		Geometry: g,
+		Timing:   t,
+		Power: power.Model{
+			Currents: power.MicronDDR2_667(),
+			Geometry: g,
+			Timing:   t,
+			// The stacked die talks to the controller through die-to-die
+			// vias; the "bus" here models those vias plus the on-die
+			// wiring (no board trace), which the paper includes when
+			// charging Smart Refresh's RAS-only overhead for 3D.
+			Bus: power.BusParams{
+				OnChipLengthMM:    36,
+				OffChipLengthMM:   2, // die-to-die vias, not a board trace
+				OnChipCapPFPerMM:  0.21,
+				OffChipCapPFPerMM: 0.1,
+				ModuleInputCapPF:  1,
+				Modules:           1,
+				VDD:               1.8,
+				DriverFraction:    0.3,
+			},
+			Counter: power.Artisan90nm(),
+			// A stacked DRAM die has no DIMM interface or registering
+			// logic, so its standby power is far below a conventional
+			// module's; this calibration puts baseline refresh energy at
+			// the ~40% share of total implied by Figures 13/14 and 16/17.
+			PowerDownFraction: 0.7,
+			BackgroundScale:   0.27,
+		},
+		Smart: core.DefaultSmartConfig(),
+	}
+}
+
+// Table2_3D32 is the Table 2 cache with the doubled (32 ms) refresh rate
+// required above 85 degC: the stacked die operates at 90.27 degC per the
+// die-stacking study [14], and the vendor rule [23] halves the interval
+// there — derived through the thermal model rather than hard-coded.
+func Table2_3D32() DRAM {
+	interval := thermal.RefreshInterval(64*sim.Millisecond, thermal.Stacked3DTemp)
+	return Table2_3D64(interval)
+}
+
+// EDRAM returns an embedded-DRAM macro configuration for the refresh
+// intervals the paper's introduction cites: 4 ms for an NEC eDRAM and
+// 64 us for an IBM implementation, against the 64 ms of commodity DRAM.
+// The macro is an 8 MB on-die array (4 banks x 4096 rows x 512 data
+// bytes); short on-die wiring replaces the Table 3 board bus.
+func EDRAM(interval sim.Duration) DRAM {
+	g := dram.Geometry{
+		Channels: 1, Ranks: 1, Banks: 4, Rows: 4096, Columns: 64,
+		DataWidthBits: 72, BurstLength: 4, DevicesPerRank: 1,
+	}
+	t := dram.DDR2_667(interval)
+	return DRAM{
+		Name:     fmt.Sprintf("edram-%s", interval),
+		Geometry: g,
+		Timing:   t,
+		Power: power.Model{
+			Currents: power.MicronDDR2_667(),
+			Geometry: g,
+			Timing:   t,
+			Bus: power.BusParams{
+				OnChipLengthMM:    8,
+				OffChipLengthMM:   0.5,
+				OnChipCapPFPerMM:  0.21,
+				OffChipCapPFPerMM: 0.1,
+				ModuleInputCapPF:  0.5,
+				Modules:           1,
+				VDD:               1.8,
+				DriverFraction:    0.3,
+			},
+			Counter:           power.Artisan90nm(),
+			PowerDownFraction: 0.7,
+			BackgroundScale:   0.15, // on-die macro: no interface circuitry
+		},
+		Smart: core.DefaultSmartConfig(),
+	}
+}
+
+// CacheConfig describes an SRAM cache level.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int64
+	LineBytes int
+	Ways      int // 1 = direct mapped
+	WriteBack bool
+}
+
+// Validate checks the cache shape.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("config: non-positive cache dimension in %+v", c)
+	}
+	if c.SizeBytes%int64(c.LineBytes) != 0 {
+		return fmt.Errorf("config: cache size %d not a multiple of line %d", c.SizeBytes, c.LineBytes)
+	}
+	lines := c.SizeBytes / int64(c.LineBytes)
+	if lines%int64(c.Ways) != 0 {
+		return fmt.Errorf("config: %d lines not divisible into %d ways", lines, c.Ways)
+	}
+	sets := lines / int64(c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("config: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Table1L2 returns the Table 1 L2: 1 MB, 8-way, 1 port (write-back,
+// 64-byte lines).
+func Table1L2() CacheConfig {
+	return CacheConfig{
+		Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Ways: 8, WriteBack: true,
+	}
+}
+
+// Table2_3DCache returns the Table 2 3D DRAM cache organisation as a cache
+// (64 MB direct mapped); its data array is the Table 2 DRAM module and its
+// tag array is SRAM on the processor die.
+func Table2_3DCache() CacheConfig {
+	return CacheConfig{
+		Name: "3d-l3", SizeBytes: 64 << 20, LineBytes: 64, Ways: 1, WriteBack: true,
+	}
+}
+
+// Presets returns every DRAM preset keyed by name.
+func Presets() map[string]DRAM {
+	out := map[string]DRAM{}
+	for _, c := range []DRAM{
+		Table1_2GB(), Table1_4GB(), Table2_3D64(64 * sim.Millisecond), Table2_3D32(),
+	} {
+		out[c.Name] = c
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/sim"
+)
+
+// CBR is the paper's baseline: distributed CAS-before-RAS refresh. One row
+// is refreshed every interval/TotalRows, walking banks round-robin with the
+// module's internal counters supplying row addresses ("one-channel,
+// one-rank, one-bank" refresh command policy, section 6). It is oblivious
+// to demand traffic, so every row is refreshed every interval regardless of
+// recent accesses — exactly the waste Smart Refresh removes.
+type CBR struct {
+	geom     dram.Geometry
+	interval sim.Duration
+	start    sim.Time
+	tick     int64 // next refresh slot index
+	bank     int   // next flat bank index (round-robin)
+	stats    PolicyStats
+}
+
+// NewCBR constructs the distributed CBR policy.
+func NewCBR(g dram.Geometry, interval sim.Duration) *CBR {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	c := &CBR{geom: g, interval: interval}
+	c.Reset(0)
+	return c
+}
+
+// Name implements Policy.
+func (c *CBR) Name() string { return "cbr" }
+
+// Reset implements Policy.
+func (c *CBR) Reset(start sim.Time) {
+	c.start = start
+	c.tick = 0
+	c.bank = 0
+	c.stats = PolicyStats{}
+}
+
+// OnRowRestore implements Policy; CBR ignores demand traffic.
+func (c *CBR) OnRowRestore(sim.Time, dram.RowID) {}
+
+// slotTime returns the time of refresh slot k, spreading TotalRows slots
+// evenly over each interval without cumulative drift.
+func (c *CBR) slotTime(k int64) sim.Time {
+	total := int64(c.geom.TotalRows())
+	whole := k / total
+	frac := k % total
+	return c.start + sim.Time(whole)*c.interval + sim.Time(frac)*c.interval/sim.Time(total)
+}
+
+// NextTick implements Policy.
+func (c *CBR) NextTick() (sim.Time, bool) { return c.slotTime(c.tick), true }
+
+// Advance implements Policy.
+func (c *CBR) Advance(t sim.Time, dst []Command) []Command {
+	banks := c.geom.TotalBanks()
+	for {
+		next := c.slotTime(c.tick)
+		if next > t {
+			return dst
+		}
+		b := c.bank
+		c.bank = (c.bank + 1) % banks
+		c.tick++
+		ch := b / (c.geom.Ranks * c.geom.Banks)
+		rem := b % (c.geom.Ranks * c.geom.Banks)
+		dst = append(dst, Command{
+			Bank: dram.BankID{Channel: ch, Rank: rem / c.geom.Banks, Bank: rem % c.geom.Banks},
+			Row:  -1,
+			Kind: dram.RefreshCBR,
+		})
+		c.stats.RefreshesRequested++
+	}
+}
+
+// Stats implements Policy.
+func (c *CBR) Stats() PolicyStats { return c.stats }
+
+// Burst refreshes every row back-to-back at the start of each interval
+// (section 3). It is included for completeness and for the peak-power
+// discussion; the paper's baseline is distributed CBR.
+type Burst struct {
+	geom     dram.Geometry
+	interval sim.Duration
+	start    sim.Time
+	cycle    int64 // next interval index
+	stats    PolicyStats
+}
+
+// NewBurst constructs the burst refresh policy.
+func NewBurst(g dram.Geometry, interval sim.Duration) *Burst {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	b := &Burst{geom: g, interval: interval}
+	b.Reset(0)
+	return b
+}
+
+// Name implements Policy.
+func (b *Burst) Name() string { return "burst" }
+
+// Reset implements Policy.
+func (b *Burst) Reset(start sim.Time) {
+	b.start = start
+	b.cycle = 0
+	b.stats = PolicyStats{}
+}
+
+// OnRowRestore implements Policy; burst refresh ignores demand traffic.
+func (b *Burst) OnRowRestore(sim.Time, dram.RowID) {}
+
+// NextTick implements Policy.
+func (b *Burst) NextTick() (sim.Time, bool) {
+	return b.start + sim.Time(b.cycle)*b.interval, true
+}
+
+// Advance implements Policy.
+func (b *Burst) Advance(t sim.Time, dst []Command) []Command {
+	for {
+		at := b.start + sim.Time(b.cycle)*b.interval
+		if at > t {
+			return dst
+		}
+		for bank := 0; bank < b.geom.TotalBanks(); bank++ {
+			ch := bank / (b.geom.Ranks * b.geom.Banks)
+			rem := bank % (b.geom.Ranks * b.geom.Banks)
+			id := dram.BankID{Channel: ch, Rank: rem / b.geom.Banks, Bank: rem % b.geom.Banks}
+			for row := 0; row < b.geom.Rows; row++ {
+				dst = append(dst, Command{Bank: id, Row: -1, Kind: dram.RefreshCBR})
+			}
+		}
+		b.stats.RefreshesRequested += uint64(b.geom.TotalRows())
+		b.cycle++
+	}
+}
+
+// Stats implements Policy.
+func (b *Burst) Stats() PolicyStats { return b.stats }
+
+// NoRefresh never refreshes. It bounds the best possible refresh energy
+// (zero) and is useful for isolating non-refresh energy in experiments; it
+// is of course not retention-correct.
+type NoRefresh struct{}
+
+// Name implements Policy.
+func (NoRefresh) Name() string { return "none" }
+
+// Reset implements Policy.
+func (NoRefresh) Reset(sim.Time) {}
+
+// OnRowRestore implements Policy.
+func (NoRefresh) OnRowRestore(sim.Time, dram.RowID) {}
+
+// NextTick implements Policy.
+func (NoRefresh) NextTick() (sim.Time, bool) { return 0, false }
+
+// Advance implements Policy.
+func (NoRefresh) Advance(_ sim.Time, dst []Command) []Command { return dst }
+
+// Stats implements Policy.
+func (NoRefresh) Stats() PolicyStats { return PolicyStats{} }
+
+// Oracle refreshes each row exactly at its retention deadline (one full
+// interval after its last restore), the 100%-optimal scheme of section
+// 4.4. It needs per-row timestamps — far more state than Smart Refresh —
+// and exists as the upper bound for the optimality ablation.
+type Oracle struct {
+	geom     dram.Geometry
+	interval sim.Duration
+	// guard is subtracted from the deadline so the refresh completes
+	// before the retention limit rather than starting at it.
+	guard sim.Duration
+
+	lastRestore []sim.Time
+	h           oracleHeap
+	stats       PolicyStats
+}
+
+type oracleEntry struct {
+	due  sim.Time
+	flat int
+	// stamp is the restore time this entry was scheduled from; stale
+	// entries (row restored since) are discarded lazily.
+	stamp sim.Time
+}
+
+type oracleHeap []oracleEntry
+
+func (h oracleHeap) Len() int           { return len(h) }
+func (h oracleHeap) Less(i, j int) bool { return h[i].due < h[j].due }
+func (h oracleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x any)        { *h = append(*h, x.(oracleEntry)) }
+func (h *oracleHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h oracleHeap) peek() oracleEntry  { return h[0] }
+
+// NewOracle constructs the oracle policy. guard must be at least the row
+// refresh time so a refresh finishes before the deadline.
+func NewOracle(g dram.Geometry, interval sim.Duration, guard sim.Duration) *Oracle {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if guard < 0 || guard >= interval {
+		panic(fmt.Sprintf("core: oracle guard %v outside [0, interval)", guard))
+	}
+	o := &Oracle{geom: g, interval: interval, guard: guard}
+	o.Reset(0)
+	return o
+}
+
+// Name implements Policy.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Reset implements Policy: all rows are treated as restored at start.
+// Initial deadlines are staggered across the first interval — refreshing
+// earlier than the deadline is always safe, and dispatching every row at
+// the same instant would serialise behind the banks and miss deadlines
+// (the same burst hazard Smart Refresh's stagger avoids, figure 2).
+func (o *Oracle) Reset(start sim.Time) {
+	total := o.geom.TotalRows()
+	o.lastRestore = make([]sim.Time, total)
+	o.h = o.h[:0]
+	o.stats = PolicyStats{}
+	for i := 0; i < total; i++ {
+		o.lastRestore[i] = start
+		due := start + sim.Time(int64(i)+1)*o.interval/sim.Time(total) - o.guard
+		if due < start {
+			due = start
+		}
+		heap.Push(&o.h, oracleEntry{due: due, flat: i, stamp: start})
+	}
+}
+
+// OnRowRestore implements Policy.
+func (o *Oracle) OnRowRestore(t sim.Time, row dram.RowID) {
+	flat := row.Flat(o.geom)
+	o.lastRestore[flat] = t
+	heap.Push(&o.h, oracleEntry{due: t + o.interval - o.guard, flat: flat, stamp: t})
+}
+
+// NextTick implements Policy.
+func (o *Oracle) NextTick() (sim.Time, bool) {
+	for len(o.h) > 0 {
+		e := o.h.peek()
+		if o.lastRestore[e.flat] != e.stamp {
+			heap.Pop(&o.h) // stale
+			continue
+		}
+		return e.due, true
+	}
+	return 0, false
+}
+
+// Advance implements Policy.
+func (o *Oracle) Advance(t sim.Time, dst []Command) []Command {
+	for len(o.h) > 0 {
+		e := o.h.peek()
+		if o.lastRestore[e.flat] != e.stamp {
+			heap.Pop(&o.h)
+			continue
+		}
+		if e.due > t {
+			return dst
+		}
+		heap.Pop(&o.h)
+		row := dram.RowFromFlat(o.geom, e.flat)
+		dst = append(dst, Command{Bank: row.BankOf(), Row: row.Row, Kind: dram.RefreshRASOnly})
+		o.stats.RefreshesRequested++
+		// The refresh itself restores the row; the controller reports it
+		// back via OnRowRestore, but schedule defensively here as well in
+		// case the caller does not: the later of the two wins via stamp.
+		o.lastRestore[e.flat] = e.due
+		heap.Push(&o.h, oracleEntry{due: e.due + o.interval - o.guard, flat: e.flat, stamp: e.due})
+	}
+	return dst
+}
+
+// Stats implements Policy.
+func (o *Oracle) Stats() PolicyStats { return o.stats }
+
+// Compile-time interface checks.
+var (
+	_ Policy = (*Smart)(nil)
+	_ Policy = (*CBR)(nil)
+	_ Policy = (*Burst)(nil)
+	_ Policy = NoRefresh{}
+	_ Policy = (*Oracle)(nil)
+)

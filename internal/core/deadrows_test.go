@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/sim"
+)
+
+func TestDeadRowSetBasics(t *testing.T) {
+	g := smallGeom()
+	s := NewDeadRowSet(g)
+	row := dram.RowID{Channel: 0, Rank: 0, Bank: 1, Row: 3}
+	if s.Dead(row) || s.Count() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	s.MarkDead(row)
+	if !s.Dead(row) || s.Count() != 1 {
+		t.Fatal("MarkDead failed")
+	}
+	s.MarkDead(row) // idempotent
+	if s.Count() != 1 {
+		t.Fatal("double MarkDead miscounted")
+	}
+	s.MarkLive(row)
+	if s.Dead(row) || s.Count() != 0 {
+		t.Fatal("MarkLive failed")
+	}
+	s.MarkLive(row) // idempotent
+	if s.Count() != 0 {
+		t.Fatal("double MarkLive miscounted")
+	}
+}
+
+func TestDeadRowFilterElides(t *testing.T) {
+	g := smallGeom()
+	set := NewDeadRowSet(g)
+	// Kill half the rows.
+	for flat := 0; flat < g.TotalRows(); flat += 2 {
+		set.MarkDead(dram.RowFromFlat(g, flat))
+	}
+	inner := NewSmart(g, testInterval, smartNoDisable())
+	p := NewDeadRowFilter(inner, set)
+
+	var cmds []Command
+	cmds = p.Advance(3*testInterval, cmds)
+	for _, c := range cmds {
+		if set.Dead(c.RowID()) {
+			t.Fatalf("dead row %v refreshed", c.RowID())
+		}
+	}
+	if p.Elided() == 0 {
+		t.Fatal("nothing elided despite half-dead DRAM")
+	}
+	// Roughly half the refresh volume disappears.
+	issued := uint64(len(cmds))
+	if issued > uint64(float64(p.Elided())*1.3) || p.Elided() > uint64(float64(issued)*1.3) {
+		t.Errorf("issued %d vs elided %d, want roughly equal", issued, p.Elided())
+	}
+}
+
+func TestDeadRowRevivedByWrite(t *testing.T) {
+	g := smallGeom()
+	set := NewDeadRowSet(g)
+	row := dram.RowID{Channel: 0, Rank: 0, Bank: 0, Row: 7}
+	set.MarkDead(row)
+	p := NewDeadRowFilter(NewSmart(g, testInterval, smartNoDisable()), set)
+	p.OnRowRestore(10*sim.Millisecond, row)
+	if set.Dead(row) {
+		t.Fatal("restore did not revive the row")
+	}
+	// The revived row must be refreshed again within an interval.
+	var cmds []Command
+	found := false
+	cmds = p.Advance(2*testInterval, cmds)
+	for _, c := range cmds {
+		if c.RowID() == row {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("revived row never refreshed")
+	}
+}
+
+func TestDeadRowFilterPassesCBRThrough(t *testing.T) {
+	g := smallGeom()
+	set := NewDeadRowSet(g)
+	for flat := 0; flat < g.TotalRows(); flat++ {
+		set.MarkDead(dram.RowFromFlat(g, flat))
+	}
+	// CBR commands carry no row, so nothing can be elided — the
+	// addressability argument for RAS-only refresh.
+	p := NewDeadRowFilter(NewCBR(g, testInterval), set)
+	var cmds []Command
+	cmds = p.Advance(testInterval/2, cmds)
+	if len(cmds) == 0 {
+		t.Fatal("CBR commands were dropped")
+	}
+	if p.Elided() != 0 {
+		t.Errorf("elided %d CBR commands", p.Elided())
+	}
+}
+
+func TestDeadRowFilterName(t *testing.T) {
+	g := smallGeom()
+	p := NewDeadRowFilter(NewSmart(g, testInterval, smartNoDisable()), NewDeadRowSet(g))
+	if p.Name() != "smart+deadrows" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestDeadRowFilterResetKeepsSet(t *testing.T) {
+	g := smallGeom()
+	set := NewDeadRowSet(g)
+	row := dram.RowID{Channel: 0, Rank: 0, Bank: 0, Row: 1}
+	set.MarkDead(row)
+	p := NewDeadRowFilter(NewSmart(g, testInterval, smartNoDisable()), set)
+	p.Advance(testInterval, nil)
+	p.Reset(0)
+	if !set.Dead(row) {
+		t.Error("reset cleared the dead set")
+	}
+	if p.Elided() != 0 {
+		t.Error("reset did not clear elision count")
+	}
+}
+
+func TestNewDeadRowFilterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil inner accepted")
+		}
+	}()
+	NewDeadRowFilter(nil, NewDeadRowSet(smallGeom()))
+}

@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: the Smart
+// Refresh policy (per-row time-out counters with staggered countdown and a
+// pending refresh request queue, sections 4 and 5), together with the
+// baseline refresh policies it is evaluated against (distributed CBR,
+// burst, an ideal no-refresh bound and an oracle), a retention-deadline
+// checker used to validate the section 4.3 correctness argument, and the
+// section 4.4/4.7 optimality and area-overhead formulas.
+package core
+
+import (
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/sim"
+)
+
+// Command is one refresh operation requested by a policy.
+type Command struct {
+	Bank dram.BankID
+	// Row is the explicit row for RAS-only refresh. It is -1 for CBR
+	// refresh, where the module's internal counter supplies the row.
+	Row  int
+	Kind dram.RefreshKind
+}
+
+// RowID returns the explicit row of a RAS-only command. It panics for CBR
+// commands, which carry no row.
+func (c Command) RowID() dram.RowID {
+	if c.Row < 0 {
+		panic("core: RowID of CBR command")
+	}
+	return dram.RowID{Channel: c.Bank.Channel, Rank: c.Bank.Rank, Bank: c.Bank.Bank, Row: c.Row}
+}
+
+// Policy is a refresh scheduling policy. The memory controller drives it:
+// it reports row restores (activates and page-close precharges) from
+// demand traffic, asks when the policy next needs to run, and collects the
+// refresh commands that became due.
+//
+// Policies are not safe for concurrent use.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// Reset re-initialises internal state as of time start.
+	Reset(start sim.Time)
+
+	// OnRowRestore tells the policy that a row's cells were restored by
+	// normal traffic at time t (an activate, or the write-back when an
+	// open page is closed). Section 4.1: such a row needs no refresh for
+	// another full interval.
+	OnRowRestore(t sim.Time, row dram.RowID)
+
+	// NextTick returns the next time the policy has internal work, or
+	// ok=false if it never fires again (e.g. the no-refresh policy).
+	NextTick() (t sim.Time, ok bool)
+
+	// Advance runs internal machinery for all ticks at or before t,
+	// appending refresh commands that became due to dst. Commands are
+	// returned in issue order.
+	Advance(t sim.Time, dst []Command) []Command
+
+	// Stats returns the accumulated policy statistics.
+	Stats() PolicyStats
+}
+
+// PolicyStats aggregates policy-side activity for reporting and for the
+// counter-array energy model.
+type PolicyStats struct {
+	// RefreshesRequested counts refresh commands emitted.
+	RefreshesRequested uint64
+
+	// CounterReads and CounterWrites count SRAM counter-array accesses
+	// (section 6: reads when indexing/checking, writes when decrementing
+	// or resetting). Zero for policies without counters.
+	CounterReads  uint64
+	CounterWrites uint64
+
+	// AccessResets counts counter resets caused by demand traffic.
+	AccessResets uint64
+
+	// SkippedIndexings counts counter indexings that found a non-zero
+	// counter and therefore did not refresh.
+	SkippedIndexings uint64
+
+	// MaxPendingPerTick is the largest number of refresh requests a single
+	// counter-indexing tick generated (bounded by the segment count; this
+	// is the section 5 queue-overflow argument).
+	MaxPendingPerTick int
+
+	// Disable/enable telemetry for the section 4.6 self-configuration.
+	DisableSwitches uint64
+	EnableSwitches  uint64
+	TimeDisabled    sim.Duration
+}
+
+// Sub returns the field-wise difference s - earlier for the monotone
+// counters (MaxPendingPerTick, a high-water mark, is carried over); the
+// experiment harness uses it to exclude warmup from measured windows.
+func (s PolicyStats) Sub(earlier PolicyStats) PolicyStats {
+	return PolicyStats{
+		RefreshesRequested: s.RefreshesRequested - earlier.RefreshesRequested,
+		CounterReads:       s.CounterReads - earlier.CounterReads,
+		CounterWrites:      s.CounterWrites - earlier.CounterWrites,
+		AccessResets:       s.AccessResets - earlier.AccessResets,
+		SkippedIndexings:   s.SkippedIndexings - earlier.SkippedIndexings,
+		MaxPendingPerTick:  s.MaxPendingPerTick,
+		DisableSwitches:    s.DisableSwitches - earlier.DisableSwitches,
+		EnableSwitches:     s.EnableSwitches - earlier.EnableSwitches,
+		TimeDisabled:       s.TimeDisabled - earlier.TimeDisabled,
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/sim"
+)
+
+// Retention-aware refresh, the extension direction the paper's related
+// work singles out as orthogonal to Smart Refresh (section 8: RAPID
+// [Venkatesan et al.] and the VRA scheme of Ohsawa et al. exploit the
+// fact that most DRAM cells retain data far longer than the worst-case
+// interval). The combination implemented here keeps Smart Refresh's
+// access-driven counter resets and staggered indexing, but lets each
+// row's counter count down from a class-dependent maximum: a row whose
+// measured retention is c times the base interval resets to c*2^bits - 1
+// and is therefore refreshed only every c intervals when idle.
+
+// RetentionClass is one bin of rows sharing a retention multiplier.
+type RetentionClass struct {
+	// Multiplier is the row's retention time in base intervals (1 = the
+	// worst-case rows every DRAM must assume without profiling).
+	Multiplier int
+	// Fraction is the share of rows in this class.
+	Fraction float64
+}
+
+// DefaultRetentionClasses returns the distribution retention-profiling
+// studies report: a small population of weak cells pins a minority of
+// rows at the base interval while most rows retain 2-4x longer.
+func DefaultRetentionClasses() []RetentionClass {
+	return []RetentionClass{
+		{Multiplier: 1, Fraction: 0.20},
+		{Multiplier: 2, Fraction: 0.50},
+		{Multiplier: 4, Fraction: 0.30},
+	}
+}
+
+// RetentionMap assigns a retention multiplier to every row. In a real
+// system it would be produced by a profiling pass (RAPID's software
+// probing); here it is generated deterministically from a seed.
+type RetentionMap struct {
+	geom dram.Geometry
+	mult []uint8
+}
+
+// NewRetentionMap assigns rows to classes pseudo-randomly in the given
+// fractions. It panics on an empty or inconsistent class list.
+func NewRetentionMap(g dram.Geometry, classes []RetentionClass, seed uint64) *RetentionMap {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if len(classes) == 0 {
+		panic("core: no retention classes")
+	}
+	var total float64
+	for _, c := range classes {
+		if c.Multiplier < 1 || c.Multiplier > 16 {
+			panic(fmt.Sprintf("core: retention multiplier %d outside 1..16", c.Multiplier))
+		}
+		if c.Fraction < 0 {
+			panic("core: negative class fraction")
+		}
+		total += c.Fraction
+	}
+	if total <= 0 {
+		panic("core: class fractions sum to zero")
+	}
+
+	m := &RetentionMap{geom: g, mult: make([]uint8, g.TotalRows())}
+	rng := sim.NewRNG(seed)
+	for i := range m.mult {
+		r := rng.Float64() * total
+		acc := 0.0
+		m.mult[i] = uint8(classes[len(classes)-1].Multiplier)
+		for _, c := range classes {
+			acc += c.Fraction
+			if r < acc {
+				m.mult[i] = uint8(c.Multiplier)
+				break
+			}
+		}
+	}
+	return m
+}
+
+// Multiplier returns the retention multiplier of a row.
+func (m *RetentionMap) Multiplier(row dram.RowID) int {
+	return int(m.mult[row.Flat(m.geom)])
+}
+
+// multiplierFlat avoids re-deriving the flat index on hot paths.
+func (m *RetentionMap) multiplierFlat(flat int) int { return int(m.mult[flat]) }
+
+// Histogram returns the row count per multiplier value.
+func (m *RetentionMap) Histogram() map[int]int {
+	out := map[int]int{}
+	for _, v := range m.mult {
+		out[int(v)]++
+	}
+	return out
+}
+
+// Deadline returns the retention deadline of a row given the base
+// interval.
+func (m *RetentionMap) Deadline(row dram.RowID, base sim.Duration) sim.Duration {
+	return sim.Duration(m.Multiplier(row)) * base
+}
+
+// RetentionAwareSmart combines Smart Refresh with per-row retention
+// classes: identical indexing, staggering, pending-queue and self-disable
+// machinery would apply, but counters of long-retention rows start
+// higher, so idle rows of class c are refreshed every c intervals.
+//
+// The implementation reuses the Smart tick engine and only overrides the
+// reset values, keeping the section 5 queue bound intact (a tick still
+// touches exactly Segments counters).
+type RetentionAwareSmart struct {
+	*Smart
+	rmap *RetentionMap
+}
+
+// NewRetentionAwareSmart builds the combined policy. SelfDisable is
+// forced off: the CBR fallback refreshes every row at the base rate and
+// would waste the retention profile (a real design would fall back to a
+// multi-rate wheel instead).
+func NewRetentionAwareSmart(g dram.Geometry, interval sim.Duration, cfg SmartConfig, rmap *RetentionMap) *RetentionAwareSmart {
+	if rmap == nil {
+		panic("core: nil retention map")
+	}
+	maxMult := 1
+	for _, v := range rmap.mult {
+		if int(v) > maxMult {
+			maxMult = int(v)
+		}
+	}
+	if maxMult<<cfg.CounterBits > 256 {
+		panic(fmt.Sprintf("core: multiplier %d with %d-bit base counters overflows the counter byte",
+			maxMult, cfg.CounterBits))
+	}
+	cfg.SelfDisable = false
+	s := NewSmart(g, interval, cfg)
+	r := &RetentionAwareSmart{Smart: s, rmap: rmap}
+	s.maxFor = func(flat int) uint8 {
+		return uint8(rmap.multiplierFlat(flat)<<cfg.CounterBits - 1)
+	}
+	s.seedStagger()
+	return r
+}
+
+// Name implements Policy.
+func (r *RetentionAwareSmart) Name() string { return "smart-retention" }
+
+// Map exposes the retention map.
+func (r *RetentionAwareSmart) Map() *RetentionMap { return r.rmap }

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/sim"
+)
+
+// SmartConfig parameterises the Smart Refresh policy. The zero value is
+// not valid; use DefaultSmartConfig.
+type SmartConfig struct {
+	// CounterBits is the width of each per-row time-out counter. The paper
+	// explains the mechanism with 2 bits and simulates with 3 (section
+	// 4.2); optimality is 1 - 2^-bits (section 4.4).
+	CounterBits int
+
+	// Segments is the number of logical segments the counters are hashed
+	// into (section 4.2); one counter per segment is indexed at each tick.
+	// The paper uses 8 segments, matching the pending queue size.
+	Segments int
+
+	// QueueDepth is the pending refresh request queue capacity (section 5;
+	// 8 entries). A tick can emit at most Segments requests, so the queue
+	// never overflows when QueueDepth >= Segments.
+	QueueDepth int
+
+	// SelfDisable enables the section 4.6 circuitry: fall back to CBR
+	// refresh when demand accesses over a whole refresh interval drop
+	// below DisableBelow * rows, and re-enable above EnableAbove * rows.
+	SelfDisable  bool
+	DisableBelow float64
+	EnableAbove  float64
+
+	// UniformSeed initialises every counter to the same value instead of
+	// the figure 2(b)/3 stagger — the burst-prone configuration of
+	// figure 2(a), kept as an ablation knob. Production use should leave
+	// this false.
+	UniformSeed bool
+}
+
+// DefaultSmartConfig returns the configuration used for all the paper's
+// simulations: 3-bit counters, 8 segments, an 8-entry pending queue, and
+// the 1%/2% self-disable thresholds.
+func DefaultSmartConfig() SmartConfig {
+	return SmartConfig{
+		CounterBits:  3,
+		Segments:     8,
+		QueueDepth:   8,
+		SelfDisable:  true,
+		DisableBelow: 0.01,
+		EnableAbove:  0.02,
+	}
+}
+
+// Validate reports an error for inconsistent configuration.
+func (c SmartConfig) Validate() error {
+	if c.CounterBits < 1 || c.CounterBits > 8 {
+		return fmt.Errorf("core: CounterBits = %d, want 1..8", c.CounterBits)
+	}
+	if c.Segments < 1 {
+		return fmt.Errorf("core: Segments = %d, want >= 1", c.Segments)
+	}
+	if c.QueueDepth < c.Segments {
+		return fmt.Errorf("core: QueueDepth %d < Segments %d would allow queue overflow",
+			c.QueueDepth, c.Segments)
+	}
+	if c.SelfDisable {
+		if c.DisableBelow <= 0 || c.EnableAbove <= c.DisableBelow {
+			return fmt.Errorf("core: disable thresholds %v/%v must satisfy 0 < disable < enable",
+				c.DisableBelow, c.EnableAbove)
+		}
+	}
+	return nil
+}
+
+// Smart is the Smart Refresh policy (sections 4 and 5): a time-out counter
+// per (channel, rank, bank, row), hashed into logical segments whose
+// countdown is staggered, plus a bounded pending refresh request queue.
+// Rows restored by demand traffic have their counters reset and are not
+// refreshed until the counter next reaches zero.
+type Smart struct {
+	geom     dram.Geometry
+	interval sim.Duration
+	cfg      SmartConfig
+
+	counters []uint8
+	max      uint8
+	modulus  int // 2^CounterBits
+
+	// maxFor, when non-nil, overrides the per-row counter reset value
+	// (retention-aware extension); nil means the uniform maximum.
+	maxFor func(flat int) uint8
+
+	rowsPerSeg int
+	segRows    int // == rowsPerSeg, rows per segment
+
+	// Tick bookkeeping. Tick k indexes position (k mod rowsPerSeg) of
+	// every segment. A full pass over a segment takes one counter access
+	// period = interval / 2^bits.
+	capPeriod sim.Duration // counter access period
+	start     sim.Time
+	tick      int64 // next tick index to execute
+
+	pending []Command // bounded by cfg.QueueDepth
+
+	// Section 4.6 self-disable state.
+	disabled       bool
+	windowStart    sim.Time
+	windowAccesses uint64
+	disabledSince  sim.Time
+	cbr            *CBR // delegate used while disabled
+
+	stats PolicyStats
+}
+
+// NewSmart constructs a Smart Refresh policy for the given module
+// geometry and refresh interval. It panics on invalid configuration.
+func NewSmart(g dram.Geometry, interval sim.Duration, cfg SmartConfig) *Smart {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	total := g.TotalRows()
+	if total%cfg.Segments != 0 {
+		panic(fmt.Sprintf("core: %d rows not divisible into %d segments", total, cfg.Segments))
+	}
+	s := &Smart{
+		geom:       g,
+		interval:   interval,
+		cfg:        cfg,
+		counters:   make([]uint8, total),
+		modulus:    1 << cfg.CounterBits,
+		max:        uint8(1<<cfg.CounterBits - 1),
+		rowsPerSeg: total / cfg.Segments,
+		capPeriod:  interval / sim.Duration(int64(1)<<cfg.CounterBits),
+		cbr:        NewCBR(g, interval),
+	}
+	s.segRows = s.rowsPerSeg
+	s.Reset(0)
+	return s
+}
+
+// Name implements Policy.
+func (s *Smart) Name() string { return "smart" }
+
+// Config returns the policy configuration.
+func (s *Smart) Config() SmartConfig { return s.cfg }
+
+// Reset implements Policy: counters are re-initialised with the staggered
+// pattern of figure 2(b)/figure 3, so that roughly Segments/2^bits of the
+// counters indexed at any tick are zero and refreshes stay evenly
+// distributed.
+func (s *Smart) Reset(start sim.Time) {
+	s.start = start
+	s.tick = 0
+	s.pending = s.pending[:0]
+	s.disabled = false
+	s.windowStart = start
+	s.windowAccesses = 0
+	s.stats = PolicyStats{}
+	s.cbr.Reset(start)
+	s.seedStagger()
+}
+
+// seedStagger initialises the counters so refresh requests are spread
+// uniformly: the in-segment position staggers counters across the counter
+// access period, and an extra per-segment offset staggers the segments
+// against each other (figure 3), so the counters indexed together at one
+// tick do not reach zero together.
+func (s *Smart) seedStagger() {
+	if s.cfg.UniformSeed {
+		for i := range s.counters {
+			s.counters[i] = s.resetValue(i)
+		}
+		return
+	}
+	for i := range s.counters {
+		seg := i / s.rowsPerSeg
+		p := i % s.rowsPerSeg
+		span := int(s.resetValue(i)) + 1
+		s.counters[i] = uint8((p*s.modulus/s.rowsPerSeg + seg) % span)
+	}
+}
+
+// resetValue returns the counter reload value for a row: the uniform
+// maximum, or the per-row value of the retention-aware extension.
+func (s *Smart) resetValue(flat int) uint8 {
+	if s.maxFor != nil {
+		return s.maxFor(flat)
+	}
+	return s.max
+}
+
+// tickTime returns the simulated time of tick k without cumulative
+// rounding drift: k/rowsPerSeg whole counter access periods plus the
+// fractional position inside the current period.
+func (s *Smart) tickTime(k int64) sim.Time {
+	whole := k / int64(s.rowsPerSeg)
+	frac := k % int64(s.rowsPerSeg)
+	return s.start + sim.Time(whole)*s.capPeriod +
+		sim.Time(frac)*s.capPeriod/sim.Time(s.rowsPerSeg)
+}
+
+// counterIndex returns the flat counter index for segment seg at in-
+// segment position pos. Counters are "evenly hashed" into segments by
+// contiguous blocks of the flat row index; any fixed partition works, the
+// requirement is only that each counter is indexed exactly once per
+// counter access period.
+func (s *Smart) counterIndex(seg, pos int) int { return seg*s.rowsPerSeg + pos }
+
+// OnRowRestore implements Policy: the row's counter is reset to its
+// maximum (one SRAM write), both when the row is opened and when its page
+// is closed (section 4.1).
+func (s *Smart) OnRowRestore(t sim.Time, row dram.RowID) {
+	s.windowAccesses++
+	if s.disabled {
+		// Counters are switched off; only the access-density window runs.
+		return
+	}
+	flat := row.Flat(s.geom)
+	s.counters[flat] = s.resetValue(flat)
+	s.stats.AccessResets++
+	s.stats.CounterWrites++
+}
+
+// NextTick implements Policy.
+func (s *Smart) NextTick() (sim.Time, bool) {
+	if s.disabled {
+		next, ok := s.cbr.NextTick()
+		// The access-density window boundary is also an event.
+		wb := s.windowStart + s.interval
+		if !ok || wb < next {
+			return wb, true
+		}
+		return next, true
+	}
+	return s.tickTime(s.tick), true
+}
+
+// Advance implements Policy.
+func (s *Smart) Advance(t sim.Time, dst []Command) []Command {
+	for {
+		if s.disabled {
+			// CBR fallback: run the delegate up to the next access-density
+			// window boundary, evaluate the window, repeat until t.
+			boundary := s.windowStart + s.interval
+			limit := sim.Min(t, boundary)
+			before := s.cbr.Stats().RefreshesRequested
+			dst = s.cbr.Advance(limit, dst)
+			s.stats.RefreshesRequested += s.cbr.Stats().RefreshesRequested - before
+			if t < boundary {
+				return dst
+			}
+			s.maybeSwitchMode(boundary)
+			continue
+		}
+		next := s.tickTime(s.tick)
+		if next > t {
+			return dst
+		}
+		dst = s.runTick(next, dst)
+		s.maybeSwitchMode(next)
+	}
+}
+
+// runTick indexes one counter in every segment at time now (section 4.2):
+// zero counters trigger a refresh request and reset; non-zero counters
+// decrement. At most Segments requests are generated, which is the queue
+// bound of section 5.
+func (s *Smart) runTick(now sim.Time, dst []Command) []Command {
+	pos := int(s.tick % int64(s.rowsPerSeg))
+	generated := 0
+	for seg := 0; seg < s.cfg.Segments; seg++ {
+		idx := s.counterIndex(seg, pos)
+		s.stats.CounterReads++
+		if s.counters[idx] == 0 {
+			s.counters[idx] = s.resetValue(idx)
+			s.stats.CounterWrites++
+			row := dram.RowFromFlat(s.geom, idx)
+			if len(s.pending) >= s.cfg.QueueDepth {
+				// Unreachable when QueueDepth >= Segments because the
+				// queue drains every Advance; guarded as an invariant.
+				panic("core: pending refresh request queue overflow")
+			}
+			s.pending = append(s.pending, Command{
+				Bank: row.BankOf(), Row: row.Row, Kind: dram.RefreshRASOnly,
+			})
+			generated++
+		} else {
+			s.counters[idx]--
+			s.stats.CounterWrites++
+			s.stats.SkippedIndexings++
+		}
+	}
+	if generated > s.stats.MaxPendingPerTick {
+		s.stats.MaxPendingPerTick = generated
+	}
+	s.stats.RefreshesRequested += uint64(generated)
+	dst = append(dst, s.pending...)
+	s.pending = s.pending[:0]
+	s.tick++
+	return dst
+}
+
+// maybeSwitchMode evaluates the section 4.6 access-density window at its
+// boundary and switches between Smart and CBR modes.
+func (s *Smart) maybeSwitchMode(now sim.Time) {
+	if !s.cfg.SelfDisable {
+		return
+	}
+	for now >= s.windowStart+s.interval {
+		rows := float64(s.geom.TotalRows())
+		density := float64(s.windowAccesses) / rows
+		boundary := s.windowStart + s.interval
+		if !s.disabled && density < s.cfg.DisableBelow {
+			s.disabled = true
+			s.disabledSince = boundary
+			s.stats.DisableSwitches++
+			// Hand the refresh schedule to CBR from the boundary on.
+			s.cbr.Reset(boundary)
+		} else if s.disabled && density > s.cfg.EnableAbove {
+			s.disabled = false
+			s.stats.EnableSwitches++
+			s.stats.TimeDisabled += boundary - s.disabledSince
+			// Re-enter Smart mode. The controller does not know the phase
+			// of the module-internal CBR counters, so the conservative
+			// restart seeds every counter to zero: every row is swept
+			// (refreshed) within one counter access period of the switch,
+			// bounding the restore gap across the transition at
+			// interval + counter access period. The sweep emits at most
+			// Segments requests per tick, so the pending queue bound
+			// still holds.
+			s.start = boundary
+			s.tick = 0
+			for i := range s.counters {
+				s.counters[i] = 0
+			}
+		}
+		s.windowStart = boundary
+		s.windowAccesses = 0
+	}
+}
+
+// Stats implements Policy.
+func (s *Smart) Stats() PolicyStats {
+	st := s.stats
+	if s.disabled && s.windowStart > s.disabledSince {
+		// Count the completed windows of the still-open disabled span.
+		st.TimeDisabled += s.windowStart - s.disabledSince
+	}
+	return st
+}
+
+// Disabled reports whether the policy is currently in CBR fallback mode.
+func (s *Smart) Disabled() bool { return s.disabled }
+
+// CounterValue exposes a row's counter (for tests).
+func (s *Smart) CounterValue(row dram.RowID) uint8 {
+	return s.counters[row.Flat(s.geom)]
+}
+
+// CounterAccessPeriod returns interval / 2^bits (section 4.2).
+func (s *Smart) CounterAccessPeriod() sim.Duration { return s.capPeriod }
+
+// TickPeriod returns the spacing between counter indexing ticks.
+func (s *Smart) TickPeriod() sim.Duration {
+	return s.capPeriod / sim.Duration(s.rowsPerSeg)
+}

@@ -1,0 +1,189 @@
+// Package cpu provides a simple in-order processor model that drives the
+// cache hierarchy and memory controller with instruction-level timing —
+// the role Simics plays in the paper's toolchain, reduced to what the
+// DRAM study needs: a realistic arrival process for memory references and
+// an IPC metric that reflects memory (and refresh) stalls.
+package cpu
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/cache"
+	"smartrefresh/internal/memctrl"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/stats"
+)
+
+// AddressStream supplies the data-reference pattern (untimed; the core
+// provides timing). Implementations must be deterministic.
+type AddressStream interface {
+	NextRef() (addr uint64, write bool)
+}
+
+// StreamFunc adapts a function to AddressStream.
+type StreamFunc func() (uint64, bool)
+
+// NextRef implements AddressStream.
+func (f StreamFunc) NextRef() (uint64, bool) { return f() }
+
+// Config parameterises the core.
+type Config struct {
+	// ClockPeriod of the core (e.g. 333 ps for 3 GHz).
+	ClockPeriod sim.Duration
+	// BaseCPI is the cycles per instruction with a perfect memory system.
+	BaseCPI float64
+	// MemRefFraction is the fraction of instructions referencing memory.
+	MemRefFraction float64
+	// L1HitCycles and L2HitCycles are the cache access latencies in core
+	// cycles (applied to references that hit at each level).
+	L1HitCycles float64
+	L2HitCycles float64
+}
+
+// DefaultConfig returns a 3 GHz, CPI-1 core with a 30% memory-reference
+// mix and conventional L1/L2 latencies.
+func DefaultConfig() Config {
+	return Config{
+		ClockPeriod:    333 * sim.Picosecond,
+		BaseCPI:        1.0,
+		MemRefFraction: 0.3,
+		L1HitCycles:    3,
+		L2HitCycles:    12,
+	}
+}
+
+// Validate reports an error for unusable parameters.
+func (c Config) Validate() error {
+	if c.ClockPeriod <= 0 {
+		return fmt.Errorf("cpu: non-positive clock period")
+	}
+	if c.BaseCPI <= 0 {
+		return fmt.Errorf("cpu: non-positive base CPI")
+	}
+	if c.MemRefFraction < 0 || c.MemRefFraction > 1 {
+		return fmt.Errorf("cpu: memory reference fraction %v outside [0,1]", c.MemRefFraction)
+	}
+	if c.L1HitCycles < 0 || c.L2HitCycles < 0 {
+		return fmt.Errorf("cpu: negative cache latency")
+	}
+	return nil
+}
+
+// Results summarises an execution.
+type Results struct {
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+	MemRefs      uint64
+	DRAMAccesses uint64
+	MemStall     sim.Duration
+	End          sim.Time
+}
+
+// Core is a blocking in-order core: instructions retire at BaseCPI, and a
+// memory reference that misses to DRAM stalls the core for the full DRAM
+// latency (the worst case for refresh interference, which is what the
+// paper's Figure 18 measures the removal of).
+type Core struct {
+	cfg    Config
+	hier   *cache.Hierarchy
+	ctl    *memctrl.Controller
+	stream AddressStream
+
+	now      sim.Time
+	frac     float64 // fractional instruction budget toward next mem ref
+	memStall stats.Sample
+
+	instructions uint64
+	memRefs      uint64
+	dramAccesses uint64
+	totalStall   sim.Duration
+}
+
+// New builds a core over a cache hierarchy and a memory controller. The
+// hierarchy may be nil (every reference goes to DRAM).
+func New(cfg Config, hier *cache.Hierarchy, ctl *memctrl.Controller, stream AddressStream) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctl == nil {
+		return nil, fmt.Errorf("cpu: nil memory controller")
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("cpu: nil address stream")
+	}
+	return &Core{cfg: cfg, hier: hier, ctl: ctl, stream: stream}, nil
+}
+
+// Now returns the core's current time.
+func (c *Core) Now() sim.Time { return c.now }
+
+// Run executes n instructions and returns cumulative results.
+func (c *Core) Run(n uint64) Results {
+	period := float64(c.cfg.ClockPeriod)
+	for i := uint64(0); i < n; i++ {
+		c.instructions++
+		c.now += sim.Time(c.cfg.BaseCPI * period)
+
+		c.frac += c.cfg.MemRefFraction
+		if c.frac < 1 {
+			continue
+		}
+		c.frac--
+		c.memRefs++
+		addr, write := c.stream.NextRef()
+
+		// Cache lookup latency always applies.
+		c.now += sim.Time(c.cfg.L1HitCycles * period)
+		var toMem []cache.MemRequest
+		if c.hier != nil {
+			toMem = c.hier.Access(c.now, addr, write)
+			if len(toMem) > 0 {
+				c.now += sim.Time(c.cfg.L2HitCycles * period)
+			}
+		} else {
+			toMem = []cache.MemRequest{{Time: c.now, Addr: addr, Write: write}}
+		}
+
+		// Blocking DRAM accesses: the core waits for the last one.
+		var done sim.Time
+		for _, req := range toMem {
+			res := c.ctl.Submit(memctrl.Request{Time: c.now, Addr: req.Addr, Write: req.Write})
+			c.dramAccesses++
+			if res.Done > done {
+				done = res.Done
+			}
+		}
+		if done > c.now {
+			stall := done - c.now
+			c.totalStall += stall
+			c.memStall.Observe(stall.Nanoseconds())
+			c.now = done
+		}
+	}
+	return c.results()
+}
+
+func (c *Core) results() Results {
+	cycles := float64(c.now) / float64(c.cfg.ClockPeriod)
+	ipc := 0.0
+	if cycles > 0 {
+		ipc = float64(c.instructions) / cycles
+	}
+	return Results{
+		Instructions: c.instructions,
+		Cycles:       cycles,
+		IPC:          ipc,
+		MemRefs:      c.memRefs,
+		DRAMAccesses: c.dramAccesses,
+		MemStall:     c.totalStall,
+		End:          c.now,
+	}
+}
+
+// Finish closes the memory-side simulation at the core's current time and
+// returns the final results.
+func (c *Core) Finish() Results {
+	c.ctl.Finish(c.now)
+	return c.results()
+}

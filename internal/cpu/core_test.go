@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"testing"
+
+	"smartrefresh/internal/cache"
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/memctrl"
+	"smartrefresh/internal/sim"
+)
+
+// strideStream walks memory with a fixed stride.
+func strideStream(stride uint64, span uint64) AddressStream {
+	var next uint64
+	return StreamFunc(func() (uint64, bool) {
+		a := next % span
+		next += stride
+		return a, false
+	})
+}
+
+func testController(t *testing.T) *memctrl.Controller {
+	t.Helper()
+	cfg := config.Table1_2GB()
+	cfg.Geometry.Rows = 64
+	cfg.Power.Geometry = cfg.Geometry
+	p := core.NewCBR(cfg.Geometry, cfg.RefreshInterval())
+	ctl, err := memctrl.New(cfg, p, memctrl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.ClockPeriod = 0
+	if bad.Validate() == nil {
+		t.Error("zero clock accepted")
+	}
+	bad = DefaultConfig()
+	bad.MemRefFraction = 1.5
+	if bad.Validate() == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.BaseCPI = 0
+	if bad.Validate() == nil {
+		t.Error("zero CPI accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ctl := testController(t)
+	if _, err := New(DefaultConfig(), nil, nil, strideStream(64, 1<<20)); err == nil {
+		t.Error("nil controller accepted")
+	}
+	if _, err := New(DefaultConfig(), nil, ctl, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	bad := DefaultConfig()
+	bad.BaseCPI = -1
+	if _, err := New(bad, nil, ctl, strideStream(64, 1<<20)); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestPerfectCacheIPC(t *testing.T) {
+	// With no memory references at all, IPC = 1/BaseCPI exactly.
+	cfg := DefaultConfig()
+	cfg.MemRefFraction = 0
+	ctl := testController(t)
+	c, err := New(cfg, nil, ctl, strideStream(64, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(10000)
+	if res.MemRefs != 0 || res.DRAMAccesses != 0 {
+		t.Errorf("unexpected memory traffic: %+v", res)
+	}
+	if res.IPC < 0.999 || res.IPC > 1.001 {
+		t.Errorf("IPC = %v, want 1.0", res.IPC)
+	}
+}
+
+func TestMemRefFractionHonoured(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemRefFraction = 0.25
+	ctl := testController(t)
+	c, _ := New(cfg, nil, ctl, strideStream(64, 1<<20))
+	res := c.Run(40000)
+	want := uint64(10000)
+	if res.MemRefs < want-1 || res.MemRefs > want+1 {
+		t.Errorf("mem refs = %d, want ~%d", res.MemRefs, want)
+	}
+}
+
+func TestCacheFiltersDRAMTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	ctl := testController(t)
+	hier := cache.NewHierarchy(config.CacheConfig{
+		Name: "l1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, WriteBack: true,
+	}, config.Table1L2())
+	// Small working set: after warmup everything hits in L1.
+	c, _ := New(cfg, hier, ctl, strideStream(64, 8<<10))
+	res := c.Run(100000)
+	if res.DRAMAccesses >= res.MemRefs/10 {
+		t.Errorf("caches barely filtered: %d DRAM accesses for %d refs",
+			res.DRAMAccesses, res.MemRefs)
+	}
+	// IPC close to the cache-hit bound (memory stalls rare).
+	if res.IPC < 0.3 {
+		t.Errorf("IPC = %v unreasonably low for cached workload", res.IPC)
+	}
+}
+
+func TestDRAMStallsReduceIPC(t *testing.T) {
+	// The same instruction mix with and without caches: cacheless runs
+	// must stall more and lose IPC.
+	run := func(withCache bool) Results {
+		ctl := testController(t)
+		var hier *cache.Hierarchy
+		if withCache {
+			hier = cache.NewHierarchy(config.Table1L2())
+		}
+		c, _ := New(DefaultConfig(), hier, ctl, strideStream(64, 16<<10))
+		c.Run(50000)
+		return c.Finish()
+	}
+	cached := run(true)
+	uncached := run(false)
+	if uncached.IPC >= cached.IPC {
+		t.Errorf("cacheless IPC %v >= cached IPC %v", uncached.IPC, cached.IPC)
+	}
+	if uncached.MemStall <= cached.MemStall {
+		t.Errorf("cacheless stall %v <= cached stall %v", uncached.MemStall, cached.MemStall)
+	}
+}
+
+func TestTimeAdvancesMonotonically(t *testing.T) {
+	ctl := testController(t)
+	c, _ := New(DefaultConfig(), nil, ctl, strideStream(4096, 1<<20))
+	var last sim.Time
+	for i := 0; i < 50; i++ {
+		c.Run(100)
+		if c.Now() < last {
+			t.Fatal("core time went backwards")
+		}
+		last = c.Now()
+	}
+}
+
+func TestFinishClosesController(t *testing.T) {
+	ctl := testController(t)
+	c, _ := New(DefaultConfig(), nil, ctl, strideStream(64, 1<<20))
+	c.Run(10000)
+	res := c.Finish()
+	if res.End == 0 || res.Instructions != 10000 {
+		t.Errorf("results = %+v", res)
+	}
+	if ctl.Results(res.End).Energy.Total() <= 0 {
+		t.Error("controller results empty after Finish")
+	}
+}

@@ -1,0 +1,159 @@
+// Package dram models DDR2-style DRAM devices: module geometry, bank state
+// machines, command timing, the open-page row-buffer policy, and the two
+// refresh command styles the paper contrasts (CAS-before-RAS with the
+// module-internal row counter, and RAS-only refresh with an explicit row
+// address, which Smart Refresh requires).
+//
+// The model is transaction-level with cycle-accurate command spacing: each
+// operation advances per-bank and per-channel ready times according to the
+// DDR2 timing constraints, and the module keeps the activity and state-
+// residency statistics the power model consumes.
+package dram
+
+import "fmt"
+
+// Geometry describes the physical organisation of a DRAM module, following
+// Table 1 and Table 2 of the paper.
+type Geometry struct {
+	Channels int // independent memory channels
+	Ranks    int // ranks per channel
+	Banks    int // banks per rank
+	Rows     int // rows per bank
+	Columns  int // columns per row
+
+	// DataWidthBits is the module data width including ECC; the paper uses
+	// 72 (64 data + 8 ECC).
+	DataWidthBits int
+
+	// BurstLength is the number of beats per column access (4 for DDR2).
+	BurstLength int
+
+	// DevicesPerRank is the number of DRAM devices that activate together
+	// for one row; it scales per-operation energy in the power model.
+	// A 72-bit rank of x4 devices has 18.
+	DevicesPerRank int
+}
+
+// Validate reports an error if any geometry field is non-positive or a row
+// or bank count is not a power of two (address mapping requires it).
+func (g Geometry) Validate() error {
+	type field struct {
+		name string
+		v    int
+	}
+	for _, f := range []field{
+		{"Channels", g.Channels}, {"Ranks", g.Ranks}, {"Banks", g.Banks},
+		{"Rows", g.Rows}, {"Columns", g.Columns},
+		{"DataWidthBits", g.DataWidthBits}, {"BurstLength", g.BurstLength},
+		{"DevicesPerRank", g.DevicesPerRank},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("dram: geometry field %s = %d, must be positive", f.name, f.v)
+		}
+	}
+	for _, f := range []field{
+		{"Channels", g.Channels}, {"Ranks", g.Ranks}, {"Banks", g.Banks},
+		{"Rows", g.Rows}, {"Columns", g.Columns},
+	} {
+		if f.v&(f.v-1) != 0 {
+			return fmt.Errorf("dram: geometry field %s = %d, must be a power of two", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// TotalRows returns the number of refreshable (channel, rank, bank, row)
+// tuples. With the paper's one-channel/one-rank/one-bank refresh command
+// policy this is also the number of refresh operations per refresh
+// interval in the baseline, and the number of Smart Refresh counters.
+func (g Geometry) TotalRows() int {
+	return g.Channels * g.Ranks * g.Banks * g.Rows
+}
+
+// RowBytes returns the storage of one row, including ECC bits.
+func (g Geometry) RowBytes() int64 {
+	return int64(g.Columns) * int64(g.DataWidthBits) / 8
+}
+
+// DataRowBytes returns the addressable (non-ECC) bytes of one row, assuming
+// the conventional 8/9 data fraction when DataWidthBits is a multiple of 9.
+func (g Geometry) DataRowBytes() int64 {
+	if g.DataWidthBits%9 == 0 {
+		return int64(g.Columns) * int64(g.DataWidthBits) * 8 / 9 / 8
+	}
+	return g.RowBytes()
+}
+
+// CapacityBytes returns the addressable capacity of the module (data bits
+// only, excluding ECC).
+func (g Geometry) CapacityBytes() int64 {
+	return g.DataRowBytes() * int64(g.TotalRows())
+}
+
+// AccessBytes returns the bytes transferred by one burst (data bits only).
+func (g Geometry) AccessBytes() int64 {
+	return g.DataRowBytes() / int64(g.Columns) * int64(g.BurstLength)
+}
+
+// RowID identifies one refreshable row.
+type RowID struct {
+	Channel, Rank, Bank, Row int
+}
+
+// String renders the row identity compactly.
+func (r RowID) String() string {
+	return fmt.Sprintf("ch%d/rk%d/bk%d/row%d", r.Channel, r.Rank, r.Bank, r.Row)
+}
+
+// Valid reports whether r addresses a row inside g.
+func (r RowID) Valid(g Geometry) bool {
+	return r.Channel >= 0 && r.Channel < g.Channels &&
+		r.Rank >= 0 && r.Rank < g.Ranks &&
+		r.Bank >= 0 && r.Bank < g.Banks &&
+		r.Row >= 0 && r.Row < g.Rows
+}
+
+// Flat returns a dense index for the row in [0, g.TotalRows()).
+func (r RowID) Flat(g Geometry) int {
+	return ((r.Channel*g.Ranks+r.Rank)*g.Banks+r.Bank)*g.Rows + r.Row
+}
+
+// RowFromFlat is the inverse of RowID.Flat.
+func RowFromFlat(g Geometry, flat int) RowID {
+	row := flat % g.Rows
+	flat /= g.Rows
+	bank := flat % g.Banks
+	flat /= g.Banks
+	rank := flat % g.Ranks
+	ch := flat / g.Ranks
+	return RowID{Channel: ch, Rank: rank, Bank: bank, Row: row}
+}
+
+// Address is a fully decoded DRAM address.
+type Address struct {
+	RowID
+	Column int
+}
+
+// Valid reports whether a addresses a location inside g.
+func (a Address) Valid(g Geometry) bool {
+	return a.RowID.Valid(g) && a.Column >= 0 && a.Column < g.Columns
+}
+
+// BankID identifies one bank.
+type BankID struct {
+	Channel, Rank, Bank int
+}
+
+// BankOf returns the bank containing r.
+func (r RowID) BankOf() BankID {
+	return BankID{Channel: r.Channel, Rank: r.Rank, Bank: r.Bank}
+}
+
+// Flat returns a dense bank index in [0, Channels*Ranks*Banks).
+func (b BankID) Flat(g Geometry) int {
+	return (b.Channel*g.Ranks+b.Rank)*g.Banks + b.Bank
+}
+
+// TotalBanks returns the number of banks across the module.
+func (g Geometry) TotalBanks() int { return g.Channels * g.Ranks * g.Banks }

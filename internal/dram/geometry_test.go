@@ -1,0 +1,183 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// table1Geom2GB mirrors Table 1 of the paper for the 2 GB module.
+func table1Geom2GB() Geometry {
+	return Geometry{
+		Channels: 1, Ranks: 2, Banks: 4, Rows: 16384, Columns: 2048,
+		DataWidthBits: 72, BurstLength: 4, DevicesPerRank: 18,
+	}
+}
+
+// table2Geom3D mirrors Table 2 for the 64 MB 3D DRAM cache.
+func table2Geom3D() Geometry {
+	return Geometry{
+		Channels: 1, Ranks: 1, Banks: 4, Rows: 16384, Columns: 128,
+		DataWidthBits: 72, BurstLength: 4, DevicesPerRank: 2,
+	}
+}
+
+func TestGeometryTable1TotalRows(t *testing.T) {
+	g := table1Geom2GB()
+	// Section 4.7: 4 banks * 2 ranks * 16384 rows = 131,072 counters.
+	if got := g.TotalRows(); got != 131072 {
+		t.Fatalf("TotalRows = %d, want 131072", got)
+	}
+}
+
+func TestGeometryTable1Capacity(t *testing.T) {
+	g := table1Geom2GB()
+	// 2048 columns * 64 data bits = 16 KB data per row; 131072 rows = 2 GB.
+	if got := g.DataRowBytes(); got != 16384 {
+		t.Fatalf("DataRowBytes = %d, want 16384", got)
+	}
+	if got := g.CapacityBytes(); got != 2<<30 {
+		t.Fatalf("CapacityBytes = %d, want 2 GiB", got)
+	}
+}
+
+func TestGeometryTable2Capacity(t *testing.T) {
+	g := table2Geom3D()
+	// 128 columns * 64 data bits = 1 KB data per row; 65536 rows = 64 MB.
+	if got := g.TotalRows(); got != 65536 {
+		t.Fatalf("TotalRows = %d, want 65536", got)
+	}
+	if got := g.CapacityBytes(); got != 64<<20 {
+		t.Fatalf("CapacityBytes = %d, want 64 MiB", got)
+	}
+}
+
+func TestGeometryRowBytesIncludesECC(t *testing.T) {
+	g := table1Geom2GB()
+	if got := g.RowBytes(); got != 2048*72/8 {
+		t.Fatalf("RowBytes = %d", got)
+	}
+}
+
+func TestGeometryAccessBytes(t *testing.T) {
+	g := table1Geom2GB()
+	// Burst of 4 beats * 8 data bytes per beat = 32 bytes.
+	if got := g.AccessBytes(); got != 32 {
+		t.Fatalf("AccessBytes = %d, want 32", got)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	g := table1Geom2GB()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := g
+	bad.Rows = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rows accepted")
+	}
+	bad = g
+	bad.Rows = 1000 // not a power of two
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two rows accepted")
+	}
+	bad = g
+	bad.DevicesPerRank = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative devices accepted")
+	}
+}
+
+func TestRowIDFlatRoundTrip(t *testing.T) {
+	g := table1Geom2GB()
+	f := func(c, r, b, row uint16) bool {
+		id := RowID{
+			Channel: int(c) % g.Channels,
+			Rank:    int(r) % g.Ranks,
+			Bank:    int(b) % g.Banks,
+			Row:     int(row) % g.Rows,
+		}
+		flat := id.Flat(g)
+		if flat < 0 || flat >= g.TotalRows() {
+			return false
+		}
+		return RowFromFlat(g, flat) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowIDFlatDense(t *testing.T) {
+	g := Geometry{Channels: 2, Ranks: 2, Banks: 2, Rows: 4, Columns: 8,
+		DataWidthBits: 72, BurstLength: 4, DevicesPerRank: 2}
+	seen := make(map[int]bool)
+	for c := 0; c < g.Channels; c++ {
+		for r := 0; r < g.Ranks; r++ {
+			for b := 0; b < g.Banks; b++ {
+				for row := 0; row < g.Rows; row++ {
+					id := RowID{Channel: c, Rank: r, Bank: b, Row: row}
+					f := id.Flat(g)
+					if f < 0 || f >= g.TotalRows() || seen[f] {
+						t.Fatalf("Flat not a bijection at %+v -> %d", id, f)
+					}
+					seen[f] = true
+				}
+			}
+		}
+	}
+	if len(seen) != g.TotalRows() {
+		t.Fatalf("covered %d of %d", len(seen), g.TotalRows())
+	}
+}
+
+func TestRowIDValid(t *testing.T) {
+	g := table1Geom2GB()
+	if !(RowID{0, 0, 0, 0}).Valid(g) {
+		t.Error("origin invalid")
+	}
+	if (RowID{0, 0, 0, 16384}).Valid(g) {
+		t.Error("row out of range accepted")
+	}
+	if (RowID{1, 0, 0, 0}).Valid(g) {
+		t.Error("channel out of range accepted")
+	}
+	if (RowID{0, -1, 0, 0}).Valid(g) {
+		t.Error("negative rank accepted")
+	}
+}
+
+func TestAddressValid(t *testing.T) {
+	g := table1Geom2GB()
+	a := Address{RowID: RowID{0, 1, 3, 100}, Column: 2047}
+	if !a.Valid(g) {
+		t.Error("valid address rejected")
+	}
+	a.Column = 2048
+	if a.Valid(g) {
+		t.Error("column out of range accepted")
+	}
+}
+
+func TestBankIDFlat(t *testing.T) {
+	g := table1Geom2GB()
+	seen := make(map[int]bool)
+	for c := 0; c < g.Channels; c++ {
+		for r := 0; r < g.Ranks; r++ {
+			for b := 0; b < g.Banks; b++ {
+				f := (BankID{c, r, b}).Flat(g)
+				if f < 0 || f >= g.TotalBanks() || seen[f] {
+					t.Fatalf("bank flat collision at %d/%d/%d", c, r, b)
+				}
+				seen[f] = true
+			}
+		}
+	}
+}
+
+func TestRowIDString(t *testing.T) {
+	s := RowID{Channel: 0, Rank: 1, Bank: 2, Row: 37}.String()
+	if s != "ch0/rk1/bk2/row37" {
+		t.Errorf("String() = %q", s)
+	}
+}

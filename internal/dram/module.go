@@ -1,0 +1,628 @@
+package dram
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/sim"
+)
+
+// RefreshKind distinguishes the two refresh command styles (section 3 of
+// the paper).
+type RefreshKind int
+
+const (
+	// RefreshCBR is CAS-before-RAS refresh: the module-internal counter
+	// supplies the row address, so nothing is driven on the address bus.
+	// The paper's baseline uses distributed CBR.
+	RefreshCBR RefreshKind = iota
+	// RefreshRASOnly is RAS-only refresh: the controller drives the row
+	// address, which Smart Refresh requires (it refreshes specific rows out
+	// of order) and which costs extra bus energy.
+	RefreshRASOnly
+)
+
+// String names the refresh kind.
+func (k RefreshKind) String() string {
+	switch k {
+	case RefreshCBR:
+		return "CBR"
+	case RefreshRASOnly:
+		return "RAS-only"
+	default:
+		return fmt.Sprintf("RefreshKind(%d)", int(k))
+	}
+}
+
+// AccessResult describes the outcome of one demand read or write.
+type AccessResult struct {
+	Issue     sim.Time // when the first command issued (after bank ready)
+	DataStart sim.Time // first data beat on the bus
+	Done      sim.Time // last data beat on the bus
+	RowHit    bool     // open-page hit: no activate needed
+	Conflict  bool     // another row was open and had to be closed
+
+	// ClosedRow is set when the access precharged a previously open row
+	// (conflict). Closing a page restores the cells, which resets that
+	// row's Smart Refresh counter.
+	ClosedRow    RowID
+	ClosedRowSet bool
+
+	// OpenedRow is set when the access activated a row (miss or conflict).
+	OpenedRow    RowID
+	OpenedRowSet bool
+
+	// ActivateAt is the activate command time when OpenedRowSet (after
+	// bank, tRRD and tFAW constraints).
+	ActivateAt sim.Time
+}
+
+// Latency returns the demand latency from request to last data beat.
+func (r AccessResult) Latency(requested sim.Time) sim.Duration {
+	return r.Done - requested
+}
+
+// RefreshResult describes the outcome of one refresh operation.
+type RefreshResult struct {
+	Row  RowID
+	Kind RefreshKind
+	// Issue..Done is the bank occupancy of the refresh.
+	Issue sim.Time
+	Done  sim.Time
+	// ClosedOpenRow is true when the refresh found the bank with an open
+	// page and had to close it first — the extra-energy case the paper
+	// calls out when explaining why refresh-count and refresh-energy
+	// reductions are not linearly related.
+	ClosedOpenRow bool
+	ClosedRow     RowID
+}
+
+// ModuleStats aggregates the activity counts and state-residency times the
+// power model consumes.
+type ModuleStats struct {
+	Accesses     uint64
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64 // bank precharged, activate needed
+	RowConflicts uint64 // other row open, precharge + activate needed
+	Activates    uint64
+	Precharges   uint64
+
+	RefreshOps         uint64 // total refresh operations (both kinds)
+	RefreshCBROps      uint64
+	RefreshRASOnlyOps  uint64
+	RefreshConflictOps uint64 // refreshes that had to close an open page
+
+	// Background state residency summed over all ranks: a rank is active
+	// while any of its banks has an open row, idle otherwise.
+	ActiveTime sim.Duration
+	IdleTime   sim.Duration
+
+	// PowerDownTime is the part of IdleTime spent in precharge
+	// power-down, tracked when SetPowerDown has armed the explicit
+	// power-down state machine (otherwise zero, and the power model's
+	// PowerDownFraction calibration applies instead).
+	PowerDownTime sim.Duration
+
+	// SelfRefreshTime is the part of IdleTime spent in self-refresh mode
+	// (the module refreshes itself from its internal oscillator at IDD6);
+	// SelfRefreshEntries counts mode entries.
+	SelfRefreshTime    sim.Duration
+	SelfRefreshEntries uint64
+
+	// DemandStall accumulates time demand accesses spent waiting for a
+	// bank that was busy (including refresh occupancy); this drives the
+	// Figure 18 performance comparison.
+	DemandStall sim.Duration
+}
+
+// Sub returns the field-wise difference s - earlier; the experiment
+// harness uses it to exclude warmup from measured windows.
+func (s ModuleStats) Sub(earlier ModuleStats) ModuleStats {
+	return ModuleStats{
+		Accesses:           s.Accesses - earlier.Accesses,
+		Reads:              s.Reads - earlier.Reads,
+		Writes:             s.Writes - earlier.Writes,
+		RowHits:            s.RowHits - earlier.RowHits,
+		RowMisses:          s.RowMisses - earlier.RowMisses,
+		RowConflicts:       s.RowConflicts - earlier.RowConflicts,
+		Activates:          s.Activates - earlier.Activates,
+		Precharges:         s.Precharges - earlier.Precharges,
+		RefreshOps:         s.RefreshOps - earlier.RefreshOps,
+		RefreshCBROps:      s.RefreshCBROps - earlier.RefreshCBROps,
+		RefreshRASOnlyOps:  s.RefreshRASOnlyOps - earlier.RefreshRASOnlyOps,
+		RefreshConflictOps: s.RefreshConflictOps - earlier.RefreshConflictOps,
+		ActiveTime:         s.ActiveTime - earlier.ActiveTime,
+		IdleTime:           s.IdleTime - earlier.IdleTime,
+		PowerDownTime:      s.PowerDownTime - earlier.PowerDownTime,
+		SelfRefreshTime:    s.SelfRefreshTime - earlier.SelfRefreshTime,
+		SelfRefreshEntries: s.SelfRefreshEntries - earlier.SelfRefreshEntries,
+		DemandStall:        s.DemandStall - earlier.DemandStall,
+	}
+}
+
+type bankState struct {
+	openRow       int // -1 when precharged
+	readyAt       sim.Time
+	prechargeOKAt sim.Time // tRAS / write-recovery constraint
+	activateOKAt  sim.Time // tRC constraint
+}
+
+type rankState struct {
+	openBanks  int
+	lastUpdate sim.Time
+	activeTime sim.Duration
+	idleTime   sim.Duration
+
+	// Activate-rate limits: lastActivate enforces tRRD (activate to
+	// activate, different banks of one rank); actWindow holds the last
+	// four activate times for the rolling-four-activate window tFAW.
+	lastActivate sim.Time
+	actWindow    [4]sim.Time
+	actWindowPos int
+
+	// Power-down state machine (armed by Module.SetPowerDown): idleSince
+	// is when the last bank closed; powerDownTime accumulates time past
+	// idleSince+pdAfter.
+	idleSince     sim.Time
+	powerDownTime sim.Duration
+
+	// Self-refresh state: while inSelfRefresh, the module maintains
+	// retention internally and accepts no commands for this rank.
+	inSelfRefresh   bool
+	srSince         sim.Time
+	selfRefreshTime sim.Duration
+}
+
+// activateOKAt returns the earliest time a new activate may issue in the
+// rank under tRRD and tFAW.
+func (r *rankState) activateOKAt(t Timing) sim.Time {
+	earliest := r.lastActivate + t.TRRD
+	// The oldest of the last four activates bounds the fifth.
+	oldest := r.actWindow[r.actWindowPos]
+	if faw := oldest + t.TFAW; faw > earliest {
+		earliest = faw
+	}
+	return earliest
+}
+
+// recordActivate notes an activate at time at.
+func (r *rankState) recordActivate(at sim.Time) {
+	r.lastActivate = at
+	r.actWindow[r.actWindowPos] = at
+	r.actWindowPos = (r.actWindowPos + 1) % len(r.actWindow)
+}
+
+type channelState struct {
+	busFreeAt sim.Time
+}
+
+// Module is a DRAM module with open-page row-buffer policy. It is not safe
+// for concurrent use; the simulator is single-threaded by design.
+type Module struct {
+	geom Geometry
+	tim  Timing
+	clk  sim.Clock
+
+	banks    []bankState
+	ranks    []rankState
+	channels []channelState
+
+	// cbrCounters holds the module-internal CBR row counter per bank. The
+	// counter initialises to zero at power-up and wraps at Rows; it cannot
+	// be reset (section 3).
+	cbrCounters []int
+
+	stats ModuleStats
+	now   sim.Time // latest time observed, for Finalize
+
+	// pdAfter, when positive, arms explicit precharge power-down: a rank
+	// whose banks have all been closed for pdAfter enters power-down
+	// until its next activate. Energy-only: the small exit latency (tXP,
+	// about two clocks) is not modelled in command timing.
+	pdAfter sim.Duration
+}
+
+// NewModule constructs a module; it panics on invalid configuration
+// because a bad configuration is a programming error, not a runtime
+// condition.
+func NewModule(g Geometry, t Timing) *Module {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Module{
+		geom:        g,
+		tim:         t,
+		clk:         sim.NewClock(t.TCK),
+		banks:       make([]bankState, g.TotalBanks()),
+		ranks:       make([]rankState, g.Channels*g.Ranks),
+		channels:    make([]channelState, g.Channels),
+		cbrCounters: make([]int, g.TotalBanks()),
+	}
+	for i := range m.banks {
+		m.banks[i].openRow = -1
+	}
+	// Seed the activate-rate trackers far in the past so the first
+	// activates are not rate-limited by the zero value.
+	const farPast = sim.Time(-1) << 40
+	for i := range m.ranks {
+		m.ranks[i].lastActivate = farPast
+		for j := range m.ranks[i].actWindow {
+			m.ranks[i].actWindow[j] = farPast
+		}
+	}
+	return m
+}
+
+// SetPowerDown arms the explicit precharge power-down state machine: a
+// rank with every bank closed for the given duration enters power-down
+// until its next activate, and the time is reported in
+// ModuleStats.PowerDownTime. Call before simulation starts.
+func (m *Module) SetPowerDown(after sim.Duration) {
+	if after <= 0 {
+		panic("dram: non-positive power-down threshold")
+	}
+	m.pdAfter = after
+}
+
+// accumulatePowerDown folds the power-down span of an idle rank ending
+// at time t into its accumulator. Self-refresh spans are accounted
+// separately and exclude power-down.
+func (m *Module) accumulatePowerDown(r *rankState, t sim.Time) {
+	if m.pdAfter <= 0 || r.openBanks != 0 || r.inSelfRefresh {
+		return
+	}
+	enter := r.idleSince + m.pdAfter
+	if t > enter {
+		r.powerDownTime += t - enter
+	}
+}
+
+// Geometry returns the module geometry.
+func (m *Module) Geometry() Geometry { return m.geom }
+
+// Timing returns the module timing.
+func (m *Module) Timing() Timing { return m.tim }
+
+// Stats returns a snapshot of the accumulated statistics. Call Finalize
+// first to flush background-state residency up to the end of simulation.
+func (m *Module) Stats() ModuleStats { return m.stats }
+
+func (m *Module) rankIndex(ch, rank int) int { return ch*m.geom.Ranks + rank }
+
+func (m *Module) observe(t sim.Time) {
+	if t > m.now {
+		m.now = t
+	}
+}
+
+// updateRank accumulates background residency for a rank up to time t.
+func (m *Module) updateRank(ri int, t sim.Time) {
+	r := &m.ranks[ri]
+	if t <= r.lastUpdate {
+		return
+	}
+	d := t - r.lastUpdate
+	if r.openBanks > 0 {
+		r.activeTime += d
+	} else {
+		r.idleTime += d
+	}
+	r.lastUpdate = t
+}
+
+// openBank transitions a bank to open at time t.
+func (m *Module) openBank(b *bankState, ri int, row int, t sim.Time) {
+	m.updateRank(ri, t)
+	if b.openRow == -1 {
+		if m.ranks[ri].openBanks == 0 {
+			m.accumulatePowerDown(&m.ranks[ri], t)
+		}
+		m.ranks[ri].openBanks++
+	}
+	b.openRow = row
+}
+
+// closeBank transitions a bank to precharged at time t.
+func (m *Module) closeBank(b *bankState, ri int, t sim.Time) {
+	m.updateRank(ri, t)
+	if b.openRow != -1 {
+		m.ranks[ri].openBanks--
+		if m.ranks[ri].openBanks == 0 {
+			m.ranks[ri].idleSince = t
+		}
+	}
+	b.openRow = -1
+}
+
+// Access performs one demand read or write under the open-page policy and
+// returns the command/data timing plus which rows were opened or closed.
+// The request is presented at time t; if the bank is busy the access
+// stalls until it is ready.
+func (m *Module) Access(t sim.Time, addr Address, write bool) AccessResult {
+	if !addr.Valid(m.geom) {
+		panic(fmt.Sprintf("dram: access to invalid address %+v", addr))
+	}
+	m.observe(t)
+	bi := addr.BankOf().Flat(m.geom)
+	ri := m.rankIndex(addr.Channel, addr.Rank)
+	if m.ranks[ri].inSelfRefresh {
+		panic(fmt.Sprintf("dram: access to rank ch%d/rk%d in self-refresh", addr.Channel, addr.Rank))
+	}
+	b := &m.banks[bi]
+	ch := &m.channels[addr.Channel]
+
+	res := AccessResult{}
+	issue := m.clk.Next(sim.Max(t, b.readyAt))
+	if issue > t {
+		m.stats.DemandStall += issue - t
+	}
+	res.Issue = issue
+
+	cas := issue // when the column command can go
+	switch {
+	case b.openRow == addr.Row:
+		// Row hit: column command straight away.
+		res.RowHit = true
+		m.stats.RowHits++
+	case b.openRow == -1:
+		// Bank precharged: activate then column command.
+		m.stats.RowMisses++
+		act := sim.Max(issue, b.activateOKAt)
+		act = sim.Max(act, m.ranks[ri].activateOKAt(m.tim))
+		act = m.clk.Next(act)
+		m.openBank(b, ri, addr.Row, act)
+		m.ranks[ri].recordActivate(act)
+		m.stats.Activates++
+		b.activateOKAt = act + m.tim.TRC
+		b.prechargeOKAt = act + m.tim.TRAS
+		cas = m.clk.Next(act + m.tim.TRCD)
+		res.OpenedRow, res.OpenedRowSet = addr.RowID, true
+		res.ActivateAt = act
+	default:
+		// Conflict: close the open page (restoring its cells), then
+		// activate the requested row.
+		m.stats.RowConflicts++
+		res.Conflict = true
+		pre := m.clk.Next(sim.Max(issue, b.prechargeOKAt))
+		res.ClosedRow = RowID{Channel: addr.Channel, Rank: addr.Rank, Bank: addr.Bank, Row: b.openRow}
+		res.ClosedRowSet = true
+		m.closeBank(b, ri, pre)
+		m.stats.Precharges++
+		act := sim.Max(pre+m.tim.TRP, b.activateOKAt)
+		act = sim.Max(act, m.ranks[ri].activateOKAt(m.tim))
+		act = m.clk.Next(act)
+		m.openBank(b, ri, addr.Row, act)
+		m.ranks[ri].recordActivate(act)
+		m.stats.Activates++
+		b.activateOKAt = act + m.tim.TRC
+		b.prechargeOKAt = act + m.tim.TRAS
+		cas = m.clk.Next(act + m.tim.TRCD)
+		res.OpenedRow, res.OpenedRowSet = addr.RowID, true
+		res.ActivateAt = act
+	}
+
+	burst := m.tim.BurstDuration(m.geom.BurstLength)
+	dataStart := m.clk.Next(sim.Max(cas+m.tim.TCL, ch.busFreeAt))
+	dataDone := dataStart + burst
+	ch.busFreeAt = dataDone
+	res.DataStart = dataStart
+	res.Done = dataDone
+
+	// Next column command to this bank.
+	b.readyAt = m.clk.Next(sim.Max(cas+m.tim.TCCD, dataStart))
+	// Write recovery / read-to-precharge constraints.
+	if write {
+		m.stats.Writes++
+		b.prechargeOKAt = sim.Max(b.prechargeOKAt, dataDone+m.tim.TWR)
+	} else {
+		m.stats.Reads++
+		b.prechargeOKAt = sim.Max(b.prechargeOKAt, cas+m.tim.TRTP)
+	}
+	m.stats.Accesses++
+	m.observe(dataDone)
+	return res
+}
+
+// RefreshRow performs a RAS-only refresh of the addressed row: the
+// controller supplies the row address. If the bank has an open page it is
+// closed first (counted as a conflict refresh; this is the higher-energy
+// case the paper describes).
+func (m *Module) RefreshRow(t sim.Time, row RowID) RefreshResult {
+	return m.refresh(t, row, RefreshRASOnly)
+}
+
+// RefreshNextCBR performs a CBR refresh on the given bank: the module's
+// internal counter supplies the row and then increments, wrapping at the
+// row count (section 3: "There is no way to reset the counter once set").
+func (m *Module) RefreshNextCBR(t sim.Time, bank BankID) RefreshResult {
+	bi := bank.Flat(m.geom)
+	row := RowID{Channel: bank.Channel, Rank: bank.Rank, Bank: bank.Bank, Row: m.cbrCounters[bi]}
+	m.cbrCounters[bi] = (m.cbrCounters[bi] + 1) % m.geom.Rows
+	return m.refresh(t, row, RefreshCBR)
+}
+
+// CBRCounter exposes a bank's internal refresh counter (for tests).
+func (m *Module) CBRCounter(bank BankID) int {
+	return m.cbrCounters[bank.Flat(m.geom)]
+}
+
+func (m *Module) refresh(t sim.Time, row RowID, kind RefreshKind) RefreshResult {
+	if !row.Valid(m.geom) {
+		panic(fmt.Sprintf("dram: refresh of invalid row %+v", row))
+	}
+	m.observe(t)
+	bi := row.BankOf().Flat(m.geom)
+	ri := m.rankIndex(row.Channel, row.Rank)
+	if m.ranks[ri].inSelfRefresh {
+		panic(fmt.Sprintf("dram: refresh to rank ch%d/rk%d in self-refresh", row.Channel, row.Rank))
+	}
+	b := &m.banks[bi]
+
+	res := RefreshResult{Row: row, Kind: kind}
+	issue := m.clk.Next(sim.Max(t, b.readyAt))
+	res.Issue = issue
+
+	start := issue
+	if b.openRow != -1 {
+		// Close the open page first; its cells are restored by the
+		// precharge write-back.
+		res.ClosedOpenRow = true
+		res.ClosedRow = RowID{Channel: row.Channel, Rank: row.Rank, Bank: row.Bank, Row: b.openRow}
+		pre := m.clk.Next(sim.Max(issue, b.prechargeOKAt))
+		m.closeBank(b, ri, pre)
+		m.stats.Precharges++
+		m.stats.RefreshConflictOps++
+		start = m.clk.Next(pre + m.tim.TRP)
+	}
+	start = sim.Max(start, b.activateOKAt)
+	start = m.clk.Next(sim.Max(start, m.ranks[ri].activateOKAt(m.tim)))
+
+	// The refresh itself: internal activate + restore + precharge, the
+	// paper's 70 ns row refresh. The bank ends precharged. Count the rank
+	// as active for the refresh duration.
+	m.openBank(b, ri, row.Row, start)
+	m.ranks[ri].recordActivate(start)
+	done := m.clk.Next(start + m.tim.TRefreshRow)
+	m.closeBank(b, ri, done)
+	b.readyAt = done
+	b.activateOKAt = sim.Max(b.activateOKAt, start+m.tim.TRC)
+	b.prechargeOKAt = done
+	res.Done = done
+
+	m.stats.RefreshOps++
+	switch kind {
+	case RefreshCBR:
+		m.stats.RefreshCBROps++
+	case RefreshRASOnly:
+		m.stats.RefreshRASOnlyOps++
+	}
+	m.observe(done)
+	return res
+}
+
+// OpenRow reports the row currently open in a bank, or -1 if precharged.
+func (m *Module) OpenRow(bank BankID) int {
+	return m.banks[bank.Flat(m.geom)].openRow
+}
+
+// PrechargeBank closes the bank's open page at time t (no earlier than the
+// bank's tRAS/write-recovery constraints allow) and returns the restored
+// row. The second return is false if the bank was already precharged.
+// Memory controllers use this to close idle pages so ranks can enter
+// precharge power-down.
+func (m *Module) PrechargeBank(t sim.Time, bank BankID) (RowID, bool) {
+	bi := bank.Flat(m.geom)
+	b := &m.banks[bi]
+	if b.openRow == -1 {
+		return RowID{}, false
+	}
+	pre := m.clk.Next(sim.Max(t, b.prechargeOKAt))
+	row := RowID{Channel: bank.Channel, Rank: bank.Rank, Bank: bank.Bank, Row: b.openRow}
+	ri := m.rankIndex(bank.Channel, bank.Rank)
+	m.closeBank(b, ri, pre)
+	m.stats.Precharges++
+	done := m.clk.Next(pre + m.tim.TRP)
+	b.readyAt = sim.Max(b.readyAt, done)
+	b.prechargeOKAt = done
+	m.observe(done)
+	return row, true
+}
+
+// BankReadyAt reports the earliest time the bank accepts another command.
+func (m *Module) BankReadyAt(bank BankID) sim.Time {
+	return m.banks[bank.Flat(m.geom)].readyAt
+}
+
+// InSelfRefresh reports whether the rank is in self-refresh mode.
+func (m *Module) InSelfRefresh(channel, rank int) bool {
+	return m.ranks[m.rankIndex(channel, rank)].inSelfRefresh
+}
+
+// EnterSelfRefresh puts a rank into self-refresh at time t: the module
+// maintains retention from its internal oscillator and draws IDD6. All
+// banks of the rank must be precharged, and the rank accepts no commands
+// until ExitSelfRefresh. Entering twice is a controller bug and panics.
+func (m *Module) EnterSelfRefresh(t sim.Time, channel, rank int) {
+	ri := m.rankIndex(channel, rank)
+	r := &m.ranks[ri]
+	if r.inSelfRefresh {
+		panic(fmt.Sprintf("dram: rank ch%d/rk%d already in self-refresh", channel, rank))
+	}
+	if r.openBanks != 0 {
+		panic(fmt.Sprintf("dram: self-refresh entry with %d open banks on ch%d/rk%d",
+			r.openBanks, channel, rank))
+	}
+	m.observe(t)
+	m.updateRank(ri, t)
+	m.accumulatePowerDown(r, t)
+	r.inSelfRefresh = true
+	r.srSince = t
+	m.stats.SelfRefreshEntries++
+}
+
+// ExitSelfRefresh leaves self-refresh at time t and returns when the rank
+// accepts its next command (t + TXSNR). Exiting a rank that is not in
+// self-refresh panics.
+func (m *Module) ExitSelfRefresh(t sim.Time, channel, rank int) sim.Time {
+	ri := m.rankIndex(channel, rank)
+	r := &m.ranks[ri]
+	if !r.inSelfRefresh {
+		panic(fmt.Sprintf("dram: rank ch%d/rk%d not in self-refresh", channel, rank))
+	}
+	if t < r.srSince {
+		t = r.srSince
+	}
+	m.observe(t)
+	m.updateRank(ri, t)
+	r.selfRefreshTime += t - r.srSince
+	r.inSelfRefresh = false
+	r.idleSince = t // power-down clock restarts now
+	ready := m.clk.Next(t + m.tim.TXSNR)
+	// Every bank of the rank honours the exit latency.
+	for b := 0; b < m.geom.Banks; b++ {
+		bi := (BankID{Channel: channel, Rank: rank, Bank: b}).Flat(m.geom)
+		bk := &m.banks[bi]
+		bk.readyAt = sim.Max(bk.readyAt, ready)
+		bk.activateOKAt = sim.Max(bk.activateOKAt, ready)
+		bk.prechargeOKAt = sim.Max(bk.prechargeOKAt, ready)
+	}
+	m.observe(ready)
+	return ready
+}
+
+// Finalize flushes background-state accounting up to time end and folds the
+// per-rank residencies into the stats snapshot. Call once at the end of a
+// simulation (calling again extends the accounting window).
+func (m *Module) Finalize(end sim.Time) {
+	m.observe(end)
+	m.stats.ActiveTime = 0
+	m.stats.IdleTime = 0
+	m.stats.PowerDownTime = 0
+	m.stats.SelfRefreshTime = 0
+	for i := range m.ranks {
+		m.updateRank(i, m.now)
+		m.accumulatePowerDown(&m.ranks[i], m.now)
+		if m.ranks[i].inSelfRefresh {
+			// Extend the open self-refresh span; advance srSince so a
+			// repeated Finalize does not double-count.
+			m.ranks[i].selfRefreshTime += m.now - m.ranks[i].srSince
+			m.ranks[i].srSince = m.now
+		}
+		// accumulatePowerDown is not idempotent across Finalize calls;
+		// advance idleSince so a repeated Finalize extends rather than
+		// double-counts.
+		if m.pdAfter > 0 && m.ranks[i].openBanks == 0 {
+			if enter := m.ranks[i].idleSince + m.pdAfter; m.now > enter {
+				m.ranks[i].idleSince = m.now - m.pdAfter
+			}
+		}
+		m.stats.ActiveTime += m.ranks[i].activeTime
+		m.stats.IdleTime += m.ranks[i].idleTime
+		m.stats.PowerDownTime += m.ranks[i].powerDownTime
+		m.stats.SelfRefreshTime += m.ranks[i].selfRefreshTime
+	}
+}

@@ -1,0 +1,96 @@
+package dram
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/sim"
+)
+
+// Timing holds the DDR2 command timing constraints used by the module
+// model. All values are durations; commands are quantised to the command
+// clock (TCK).
+type Timing struct {
+	TCK  sim.Duration // command clock period (DDR2-667: 3 ns, 333 MHz)
+	TRCD sim.Duration // activate to column command
+	TRP  sim.Duration // precharge to activate
+	TCL  sim.Duration // column command to first data
+	TRAS sim.Duration // activate to precharge (minimum row open time)
+	TRC  sim.Duration // activate to activate, same bank (>= TRAS+TRP)
+	TWR  sim.Duration // write recovery before precharge
+	TRTP sim.Duration // read to precharge
+	TCCD sim.Duration // column command to column command, same rank
+	TRRD sim.Duration // activate to activate, different bank same rank
+	TFAW sim.Duration // rolling window for four activates, same rank
+
+	// TRefreshRow is the full cost of refreshing one row with a dedicated
+	// refresh operation (RAS-only or CBR). The paper uses 70 ns ("a typical
+	// time taken to refresh a row is 70ns").
+	TRefreshRow sim.Duration
+
+	// TXSNR is the self-refresh exit latency before the next command
+	// (DDR2: tRFC + 10 ns).
+	TXSNR sim.Duration
+
+	// RefreshInterval is the retention deadline (tREFW): every row must be
+	// restored at least once per interval. 64 ms for conventional DRAM,
+	// 32 ms for the 3D DRAM above 85 degC.
+	RefreshInterval sim.Duration
+}
+
+// Validate reports an error for inconsistent timing.
+func (t Timing) Validate() error {
+	type f struct {
+		name string
+		v    sim.Duration
+	}
+	for _, x := range []f{
+		{"TCK", t.TCK}, {"TRCD", t.TRCD}, {"TRP", t.TRP}, {"TCL", t.TCL},
+		{"TRAS", t.TRAS}, {"TRC", t.TRC}, {"TWR", t.TWR}, {"TRTP", t.TRTP},
+		{"TCCD", t.TCCD}, {"TRRD", t.TRRD}, {"TFAW", t.TFAW},
+		{"TRefreshRow", t.TRefreshRow}, {"TXSNR", t.TXSNR},
+		{"RefreshInterval", t.RefreshInterval},
+	} {
+		if x.v <= 0 {
+			return fmt.Errorf("dram: timing field %s = %d, must be positive", x.name, int64(x.v))
+		}
+	}
+	if t.TRC < t.TRAS+t.TRP {
+		return fmt.Errorf("dram: TRC (%v) < TRAS+TRP (%v)", t.TRC, t.TRAS+t.TRP)
+	}
+	if t.TFAW < t.TRRD {
+		return fmt.Errorf("dram: TFAW (%v) < TRRD (%v)", t.TFAW, t.TRRD)
+	}
+	if t.RefreshInterval < 100*t.TRC {
+		return fmt.Errorf("dram: refresh interval %v implausibly short", t.RefreshInterval)
+	}
+	return nil
+}
+
+// BurstDuration returns the data-bus occupancy of one burst of length bl
+// beats at double data rate (two beats per clock).
+func (t Timing) BurstDuration(bl int) sim.Duration {
+	return sim.Duration(bl) * t.TCK / 2
+}
+
+// DDR2_667 returns the DDR2-667 timing set used for every configuration in
+// the paper (Tables 1 and 2 both specify "DDR2 ... 667 MHz"). Values follow
+// the Micron DDR2-667 (-3E) speed grade; the per-row refresh cost is the
+// paper's 70 ns.
+func DDR2_667(refreshInterval sim.Duration) Timing {
+	return Timing{
+		TCK:             3000 * sim.Picosecond, // 333 MHz command clock, 667 MT/s
+		TRCD:            15 * sim.Nanosecond,
+		TRP:             15 * sim.Nanosecond,
+		TCL:             15 * sim.Nanosecond,
+		TRAS:            45 * sim.Nanosecond,
+		TRC:             60 * sim.Nanosecond,
+		TWR:             15 * sim.Nanosecond,
+		TRTP:            7500 * sim.Picosecond,
+		TCCD:            6 * sim.Nanosecond,
+		TRRD:            7500 * sim.Picosecond,
+		TFAW:            37500 * sim.Picosecond,
+		TRefreshRow:     70 * sim.Nanosecond,
+		TXSNR:           80 * sim.Nanosecond,
+		RefreshInterval: refreshInterval,
+	}
+}

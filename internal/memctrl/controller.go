@@ -1,0 +1,380 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/power"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/stats"
+)
+
+// Request is one demand memory transaction presented to the controller.
+// Addr is a physical byte address; requests must arrive in nondecreasing
+// time order.
+type Request struct {
+	Time  sim.Time
+	Addr  uint64
+	Write bool
+}
+
+// Options tune controller construction.
+type Options struct {
+	// Interleave selects the address mapping (default RowRankBankColumn).
+	Interleave Interleave
+	// CheckRetention attaches a retention checker that validates every
+	// row's restore deadline during simulation (costs memory proportional
+	// to row count; meant for tests and debug runs).
+	CheckRetention bool
+	// RetentionSlack widens the checked deadline; zero checks the exact
+	// refresh interval plus one refresh-op grace (see Controller docs).
+	RetentionSlack sim.Duration
+	// IdleClose precharges a bank whose page has been idle this long, so
+	// idle ranks can enter precharge power-down (the page-close timeout
+	// every open-page controller implements). Zero selects the default
+	// (DefaultIdleClose); a negative value disables idle closing.
+	IdleClose sim.Duration
+	// SelfRefreshAfter, when positive, puts a rank into module
+	// self-refresh after that much demand-idle time; it must exceed the
+	// page-close timeout. The policy's refreshes to that rank are covered
+	// internally while it sleeps.
+	SelfRefreshAfter sim.Duration
+}
+
+// DefaultIdleClose is the default page-close timeout.
+const DefaultIdleClose = 2 * sim.Microsecond
+
+// Controller owns one DRAM module and one refresh policy and interleaves
+// demand traffic with refresh operations in simulated-time order.
+//
+// Retention checking note: a refresh command due at tick T starts at T (or
+// when its bank frees) and restores cells when it completes, roughly
+// T + tRefreshRow later; the checker therefore allows one small grace
+// window past the interval (RetentionGrace) exactly as real controllers
+// budget command latency inside the retention margin.
+type Controller struct {
+	cfg    config.DRAM
+	module *dram.Module
+	policy core.Policy
+	mapper *Mapper
+
+	checker *core.RetentionChecker
+	cmds    []core.Command
+
+	latency     stats.Sample
+	latencyHist *stats.Histogram
+	rowHits     stats.Counter
+	requests    stats.Counter
+
+	now       sim.Time
+	lastbusy  sim.Time // completion time of the latest demand access
+	refreshes map[dram.RefreshKind]uint64
+
+	idleClose   sim.Duration // page-close timeout (<0: never)
+	bankLastUse []sim.Time   // per flat bank: last demand activity
+
+	sr selfRefreshController
+
+	// refreshesDroppedSR counts policy refresh commands elided because
+	// their rank was in self-refresh.
+	refreshesDroppedSR uint64
+}
+
+// RetentionGrace is the command-latency allowance added to the checked
+// retention deadline: queueing behind at most QueueDepth refreshes plus
+// the refresh operation itself, rounded up generously.
+const RetentionGrace = 2 * sim.Microsecond
+
+// New builds a controller for a configuration and policy.
+func New(cfg config.DRAM, policy core.Policy, opts Options) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("memctrl: nil policy")
+	}
+	idleClose := opts.IdleClose
+	if idleClose == 0 {
+		idleClose = DefaultIdleClose
+	}
+	c := &Controller{
+		cfg:    cfg,
+		module: dram.NewModule(cfg.Geometry, cfg.Timing),
+		policy: policy,
+		mapper: NewMapper(cfg.Geometry, opts.Interleave),
+		// 2 ns buckets up to 2 us cover every DRAM latency of interest;
+		// pathological stalls land in the overflow bucket.
+		latencyHist: stats.NewHistogram(1024, 2),
+		refreshes:   map[dram.RefreshKind]uint64{},
+		idleClose:   idleClose,
+		bankLastUse: make([]sim.Time, cfg.Geometry.TotalBanks()),
+	}
+	if opts.CheckRetention {
+		deadline := cfg.Timing.RefreshInterval + RetentionGrace + opts.RetentionSlack
+		c.checker = core.NewRetentionChecker(cfg.Geometry, deadline, 0)
+	}
+	if opts.SelfRefreshAfter > 0 {
+		if idleClose > 0 && opts.SelfRefreshAfter <= idleClose {
+			return nil, fmt.Errorf("memctrl: SelfRefreshAfter %v must exceed the page-close timeout %v",
+				opts.SelfRefreshAfter, idleClose)
+		}
+		c.armSelfRefresh(opts.SelfRefreshAfter)
+	}
+	policy.Reset(0)
+	return c, nil
+}
+
+// MustNew is New for tests and examples where the configuration is a
+// vetted preset.
+func MustNew(cfg config.DRAM, policy core.Policy, opts Options) *Controller {
+	c, err := New(cfg, policy, opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Module exposes the underlying DRAM model.
+func (c *Controller) Module() *dram.Module { return c.module }
+
+// Policy exposes the refresh policy.
+func (c *Controller) Policy() core.Policy { return c.policy }
+
+// Mapper exposes the address mapper.
+func (c *Controller) Mapper() *Mapper { return c.mapper }
+
+// restore fans a row-restore event out to the policy and the checker.
+func (c *Controller) restore(t sim.Time, row dram.RowID) {
+	c.policy.OnRowRestore(t, row)
+	if c.checker != nil {
+		c.checker.OnRestore(t, row)
+	}
+}
+
+// refreshRestore records a refresh-driven restore (the policy already
+// accounted for its own refreshes; only Smart counter state must not be
+// double-reset, which is safe because resetting an already-max counter is
+// idempotent — but CBR-kind refreshes bypass the policy entirely).
+func (c *Controller) refreshRestore(t sim.Time, row dram.RowID) {
+	if c.checker != nil {
+		c.checker.OnRestore(t, row)
+	}
+}
+
+// nextIdleClose returns the earliest pending page-close deadline across
+// banks with an open page, or ok=false when none is pending.
+func (c *Controller) nextIdleClose() (sim.Time, int, bool) {
+	if c.idleClose < 0 {
+		return 0, 0, false
+	}
+	best := -1
+	var at sim.Time
+	g := c.cfg.Geometry
+	for flat := range c.bankLastUse {
+		rem := flat % (g.Ranks * g.Banks)
+		bank := dram.BankID{
+			Channel: flat / (g.Ranks * g.Banks),
+			Rank:    rem / g.Banks,
+			Bank:    rem % g.Banks,
+		}
+		if c.module.OpenRow(bank) == -1 {
+			continue
+		}
+		deadline := c.bankLastUse[flat] + c.idleClose
+		if best == -1 || deadline < at {
+			best, at = flat, deadline
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return at, best, true
+}
+
+// closeIdleBank precharges one bank at its page-close deadline and
+// reports the restored row (a precharge write-back restores cells).
+func (c *Controller) closeIdleBank(deadline sim.Time, flat int) {
+	g := c.cfg.Geometry
+	rem := flat % (g.Ranks * g.Banks)
+	bank := dram.BankID{
+		Channel: flat / (g.Ranks * g.Banks),
+		Rank:    rem / g.Banks,
+		Bank:    rem % g.Banks,
+	}
+	if row, closed := c.module.PrechargeBank(deadline, bank); closed {
+		c.restore(deadline, row)
+	}
+	c.bankLastUse[flat] = deadline // re-arm; bank is closed until next use
+}
+
+// runRefreshTick advances the policy through one tick at time due and
+// dispatches the due refresh commands to the module (Figure 5: pending
+// refresh request queue feeding RAS-only refreshes, or plain CBR in
+// baseline/disabled mode).
+func (c *Controller) runRefreshTick(due sim.Time) {
+	c.cmds = c.policy.Advance(due, c.cmds[:0])
+	for _, cmd := range c.cmds {
+		if c.selfRefreshActive(cmd.Bank.Channel, cmd.Bank.Rank) {
+			// The rank refreshes itself while asleep.
+			c.refreshesDroppedSR++
+			continue
+		}
+		var res dram.RefreshResult
+		if cmd.Row >= 0 {
+			res = c.module.RefreshRow(due, cmd.RowID())
+		} else {
+			res = c.module.RefreshNextCBR(due, cmd.Bank)
+		}
+		c.refreshes[res.Kind]++
+		if res.ClosedOpenRow {
+			// Closing the open page restored that row too.
+			c.restore(res.Issue, res.ClosedRow)
+		}
+		c.refreshRestore(res.Done, res.Row)
+	}
+}
+
+// drainRefreshes processes internal events (refresh policy ticks and idle
+// page-closes) in time order up to t, so a refresh due just before a
+// page-close deadline sees the bank state it would have seen in real
+// time. Stepping event by event keeps the timestamps exact even when
+// demand traffic is sparse.
+func (c *Controller) drainRefreshes(t sim.Time) {
+	for {
+		rt, rok := c.policy.NextTick()
+		ct, flat, cok := c.nextIdleClose()
+		st, ri, sok := c.nextSelfRefreshEntry()
+		switch {
+		case rok && rt <= t && (!cok || rt <= ct) && (!sok || rt <= st):
+			c.runRefreshTick(rt)
+		case cok && ct <= t && (!sok || ct <= st):
+			c.closeIdleBank(ct, flat)
+		case sok && st <= t:
+			c.enterSelfRefresh(st, ri)
+		default:
+			return
+		}
+	}
+}
+
+// Submit processes one demand request. Requests must be presented in
+// nondecreasing time order; Submit panics otherwise, because out-of-order
+// submission corrupts every statistic downstream.
+func (c *Controller) Submit(req Request) dram.AccessResult {
+	if req.Time < c.now {
+		panic(fmt.Sprintf("memctrl: request at %v before controller time %v", req.Time, c.now))
+	}
+	c.now = req.Time
+	c.drainRefreshes(req.Time)
+
+	addr := c.mapper.Map(req.Addr)
+	if c.selfRefreshActive(addr.Channel, addr.Rank) {
+		c.exitSelfRefresh(req.Time, addr.Channel, addr.Rank)
+	}
+	res := c.module.Access(req.Time, addr, req.Write)
+	c.bankLastUse[addr.BankOf().Flat(c.cfg.Geometry)] = res.Done
+	c.noteDemand(res.Done, addr.Channel, addr.Rank)
+
+	if res.ClosedRowSet {
+		c.restore(res.Issue, res.ClosedRow)
+	}
+	if res.OpenedRowSet {
+		c.restore(res.Issue, res.OpenedRow)
+	} else if res.RowHit {
+		// A row-buffer hit touches only the sense amplifiers; the cells
+		// were already drained by the earlier activate, so a hit does not
+		// restore anything and must NOT reset the row's counter deadline.
+		// (The activate that opened the row did.)
+		_ = res
+	}
+
+	c.requests.Inc()
+	if res.RowHit {
+		c.rowHits.Inc()
+	}
+	lat := res.Latency(req.Time).Nanoseconds()
+	c.latency.Observe(lat)
+	c.latencyHist.Observe(lat)
+	if res.Done > c.lastbusy {
+		c.lastbusy = res.Done
+	}
+	return res
+}
+
+// LastCompletion returns the completion time of the latest demand access.
+func (c *Controller) LastCompletion() sim.Time { return c.lastbusy }
+
+// AdvanceTo lets simulated time pass without demand traffic: refreshes
+// due up to t are dispatched.
+func (c *Controller) AdvanceTo(t sim.Time) {
+	if t < c.now {
+		return
+	}
+	c.now = t
+	c.drainRefreshes(t)
+}
+
+// Finish closes the simulation at time end: outstanding refreshes are
+// drained, module background accounting is flushed, and the retention
+// checker (if any) performs its end-of-run scan.
+func (c *Controller) Finish(end sim.Time) {
+	c.AdvanceTo(end)
+	c.module.Finalize(end)
+	if c.checker != nil {
+		c.checker.CheckEnd(end)
+	}
+}
+
+// RetentionErr returns the retention checker verdict (nil without a
+// checker or without violations).
+func (c *Controller) RetentionErr() error {
+	if c.checker == nil {
+		return nil
+	}
+	return c.checker.Err()
+}
+
+// Results summarises a finished run.
+type Results struct {
+	Span             sim.Duration
+	Requests         uint64
+	RowHits          uint64
+	AvgLatencyNS     float64
+	P50LatencyNS     float64
+	P99LatencyNS     float64
+	RefreshOps       uint64
+	RefreshCBR       uint64
+	RefreshRASOnly   uint64
+	RefreshPerSecond float64
+	DemandStall      sim.Duration
+	Module           dram.ModuleStats
+	Policy           core.PolicyStats
+	Energy           power.Breakdown
+}
+
+// Results computes the summary as of time end (call Finish(end) first).
+func (c *Controller) Results(end sim.Time) Results {
+	ms := c.module.Stats()
+	ps := c.policy.Stats()
+	r := Results{
+		Span:           end,
+		Requests:       c.requests.Value(),
+		RowHits:        c.rowHits.Value(),
+		AvgLatencyNS:   c.latency.Mean(),
+		P50LatencyNS:   c.latencyHist.Quantile(0.5),
+		P99LatencyNS:   c.latencyHist.Quantile(0.99),
+		RefreshOps:     ms.RefreshOps,
+		RefreshCBR:     ms.RefreshCBROps,
+		RefreshRASOnly: ms.RefreshRASOnlyOps,
+		DemandStall:    ms.DemandStall,
+		Module:         ms,
+		Policy:         ps,
+		Energy:         c.cfg.Power.Evaluate(ms, ps),
+	}
+	if end > 0 {
+		r.RefreshPerSecond = float64(ms.RefreshOps) / end.Seconds()
+	}
+	return r
+}

@@ -1,0 +1,163 @@
+package memctrl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/sim"
+)
+
+func schedController(t *testing.T) *Controller {
+	t.Helper()
+	cfg := tinyConfig(64 * sim.Millisecond)
+	return MustNew(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), Options{})
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	ctl := schedController(t)
+	if _, err := NewScheduler(nil, 8, FCFS); err == nil {
+		t.Error("nil controller accepted")
+	}
+	if _, err := NewScheduler(ctl, 0, FCFS); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestSchedulerPolicyString(t *testing.T) {
+	if FCFS.String() != "fcfs" || FRFCFS.String() != "fr-fcfs" {
+		t.Error("policy names wrong")
+	}
+	if SchedulerPolicy(7).String() == "" {
+		t.Error("unknown policy should render")
+	}
+}
+
+func TestSchedulerFCFSPreservesOrder(t *testing.T) {
+	ctl := schedController(t)
+	s, err := NewScheduler(ctl, 4, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := uint64(ctl.cfg.Geometry.DataRowBytes())
+	for i := 0; i < 8; i++ {
+		s.Enqueue(Request{Time: sim.Time(i) * sim.Microsecond, Addr: uint64(i) * rowBytes})
+	}
+	s.Finish(10 * sim.Microsecond)
+	st := s.Stats()
+	if st.Enqueued != 8 || st.Issued != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Batches != 2 {
+		t.Errorf("batches = %d, want 2 (window 4)", st.Batches)
+	}
+	if got := ctl.Results(10 * sim.Microsecond).Requests; got != 8 {
+		t.Errorf("controller saw %d requests", got)
+	}
+}
+
+func TestSchedulerFRFCFSImprovesRowHits(t *testing.T) {
+	// Interleaved accesses to two rows of the same bank: in arrival order
+	// every access conflicts; grouped by row, half become row hits.
+	makeReqs := func() []Request {
+		rowBytes := uint64(16384) // stays within bank 0 row stride
+		var out []Request
+		for i := 0; i < 8; i++ {
+			row := uint64(i%2) * rowBytes * 8 // two distinct rows, same bank
+			out = append(out, Request{
+				Time: sim.Time(i) * 100 * sim.Nanosecond,
+				Addr: row + uint64(i)*64,
+			})
+		}
+		return out
+	}
+	run := func(policy SchedulerPolicy) uint64 {
+		ctl := schedController(t)
+		s, err := NewScheduler(ctl, 8, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range makeReqs() {
+			s.Enqueue(r)
+		}
+		s.Finish(sim.Millisecond)
+		return ctl.Results(sim.Millisecond).RowHits
+	}
+	fcfs := run(FCFS)
+	frfcfs := run(FRFCFS)
+	if frfcfs <= fcfs {
+		t.Errorf("FR-FCFS row hits %d <= FCFS %d", frfcfs, fcfs)
+	}
+}
+
+func TestSchedulerFlushEmpty(t *testing.T) {
+	ctl := schedController(t)
+	s, _ := NewScheduler(ctl, 4, FRFCFS)
+	s.Flush() // no-op
+	if s.Stats().Batches != 0 {
+		t.Error("empty flush counted a batch")
+	}
+}
+
+func TestSchedulerOutOfOrderEnqueuePanics(t *testing.T) {
+	ctl := schedController(t)
+	s, _ := NewScheduler(ctl, 8, FCFS)
+	s.Enqueue(Request{Time: 100})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order enqueue accepted")
+		}
+	}()
+	s.Enqueue(Request{Time: 50})
+}
+
+// Property: both policies process the same multiset of addresses, and
+// the controller never sees time go backwards.
+func TestSchedulerSameWorkProperty(t *testing.T) {
+	f := func(seed uint64, windowRaw uint8) bool {
+		window := int(windowRaw%15) + 1
+		rng := sim.NewRNG(seed)
+		var reqs []Request
+		var now sim.Time
+		for i := 0; i < 50; i++ {
+			now += sim.Time(rng.Intn(1000)) * sim.Nanosecond
+			reqs = append(reqs, Request{
+				Time:  now,
+				Addr:  rng.Uint64() % (1 << 24),
+				Write: rng.Bool(0.3),
+			})
+		}
+		counts := func(policy SchedulerPolicy) uint64 {
+			ctl := schedController(t)
+			s, err := NewScheduler(ctl, window, policy)
+			if err != nil {
+				return 0
+			}
+			for _, r := range reqs {
+				s.Enqueue(r)
+			}
+			s.Finish(now + sim.Millisecond)
+			return ctl.Results(now + sim.Millisecond).Requests
+		}
+		return counts(FCFS) == 50 && counts(FRFCFS) == 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: issue time never precedes arrival (wait is non-negative).
+func TestSchedulerWaitNonNegative(t *testing.T) {
+	ctl := schedController(t)
+	s, _ := NewScheduler(ctl, 6, FRFCFS)
+	rng := sim.NewRNG(3)
+	var now sim.Time
+	for i := 0; i < 60; i++ {
+		now += sim.Time(rng.Intn(500)) * sim.Nanosecond
+		s.Enqueue(Request{Time: now, Addr: rng.Uint64() % (1 << 22)})
+	}
+	s.Finish(now + sim.Millisecond)
+	if s.Stats().AvgQueueWaitNS < 0 {
+		t.Errorf("negative average wait %v", s.Stats().AvgQueueWaitNS)
+	}
+}

@@ -1,0 +1,151 @@
+package memctrl
+
+import (
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/sim"
+)
+
+// Self-refresh orchestration: when a rank has seen no demand for
+// SelfRefreshAfter, the controller closes its pages (the idle-close
+// machinery has long since done so), hands retention to the module's
+// internal self-refresh engine (IDD6 instead of controller-issued
+// refreshes), and wakes the rank on the next demand access, paying tXSNR.
+//
+// While a rank is in self-refresh the controller drops the policy's
+// refresh commands for it — they are covered internally. As with the
+// section 4.6 disable transitions, the controller cannot see the phase of
+// the module-internal refresh walker, so the restore gap across an
+// entry/exit transition is bounded by two refresh intervals rather than
+// one; the retention checker treats self-refresh residency accordingly by
+// recording a whole-rank restore at entry and exit.
+
+// srState tracks controller-side self-refresh state per rank.
+type srState struct {
+	lastDemand sim.Time
+	active     bool
+}
+
+// selfRefreshController is embedded in Controller when armed.
+type selfRefreshController struct {
+	after sim.Duration // idle threshold; <=0 disables
+	ranks []srState
+}
+
+func (c *Controller) armSelfRefresh(after sim.Duration) {
+	c.sr = selfRefreshController{
+		after: after,
+		ranks: make([]srState, c.cfg.Geometry.Channels*c.cfg.Geometry.Ranks),
+	}
+}
+
+func (c *Controller) rankOf(channel, rank int) int {
+	return channel*c.cfg.Geometry.Ranks + rank
+}
+
+// nextSelfRefreshEntry returns the earliest pending entry deadline.
+func (c *Controller) nextSelfRefreshEntry() (sim.Time, int, bool) {
+	if c.sr.after <= 0 {
+		return 0, 0, false
+	}
+	best := -1
+	var at sim.Time
+	for ri := range c.sr.ranks {
+		st := &c.sr.ranks[ri]
+		if st.active {
+			continue
+		}
+		deadline := st.lastDemand + c.sr.after
+		if best == -1 || deadline < at {
+			best, at = ri, deadline
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return at, best, true
+}
+
+// enterSelfRefresh puts rank ri into self-refresh at time t, provided its
+// banks are closed (otherwise the entry is deferred: the idle-close
+// machinery will close them and the deadline fires again).
+func (c *Controller) enterSelfRefresh(t sim.Time, ri int) {
+	g := c.cfg.Geometry
+	channel, rank := ri/g.Ranks, ri%g.Ranks
+	for b := 0; b < g.Banks; b++ {
+		if c.module.OpenRow(dram.BankID{Channel: channel, Rank: rank, Bank: b}) != -1 {
+			// Pages still open: wait for idle-close. Re-arm the deadline
+			// just past the page-close horizon.
+			c.sr.ranks[ri].lastDemand = t
+			return
+		}
+	}
+	c.module.EnterSelfRefresh(t, channel, rank)
+	c.sr.ranks[ri].active = true
+	// The internal engine keeps every row fresh; mark the handoff for the
+	// checker (see the transition-bound note above).
+	c.restoreRank(t, channel, rank)
+}
+
+// exitSelfRefresh wakes a rank for a demand access at time t.
+func (c *Controller) exitSelfRefresh(t sim.Time, channel, rank int) {
+	ri := c.rankOf(channel, rank)
+	if !c.sr.ranks[ri].active {
+		return
+	}
+	c.module.ExitSelfRefresh(t, channel, rank)
+	c.sr.ranks[ri].active = false
+	c.sr.ranks[ri].lastDemand = t
+	// The engine refreshed throughout; rows are at most one interval old.
+	c.restoreRank(t, channel, rank)
+}
+
+// restoreRank reports a whole-rank restore to the retention checker only.
+// The policy is deliberately not notified: its refresh commands keep
+// being generated (and dropped) during self-refresh, which resets its
+// counters exactly as if it had issued them — so its state stays
+// consistent — and whole-rank notifications would flood the section 4.6
+// access-density window with phantom accesses.
+func (c *Controller) restoreRank(t sim.Time, channel, rank int) {
+	if c.checker == nil {
+		return
+	}
+	g := c.cfg.Geometry
+	for b := 0; b < g.Banks; b++ {
+		for r := 0; r < g.Rows; r++ {
+			c.checker.OnRestore(t, dram.RowID{Channel: channel, Rank: rank, Bank: b, Row: r})
+		}
+	}
+}
+
+// noteDemand records rank activity (defers self-refresh entry).
+func (c *Controller) noteDemand(t sim.Time, channel, rank int) {
+	if c.sr.after <= 0 {
+		return
+	}
+	c.sr.ranks[c.rankOf(channel, rank)].lastDemand = t
+}
+
+// selfRefreshActive reports whether the rank is in self-refresh.
+func (c *Controller) selfRefreshActive(channel, rank int) bool {
+	if c.sr.after <= 0 {
+		return false
+	}
+	return c.sr.ranks[c.rankOf(channel, rank)].active
+}
+
+// SelfRefreshStats summarises controller-side self-refresh behaviour.
+type SelfRefreshStats struct {
+	Entries      uint64
+	ResidencyPct float64 // of total rank-time, as of the last Finish
+}
+
+// SelfRefreshStats reports module-side residency (valid after Finish).
+func (c *Controller) SelfRefreshStats(end sim.Time) SelfRefreshStats {
+	ms := c.module.Stats()
+	total := end.Seconds() * float64(c.cfg.Geometry.Channels*c.cfg.Geometry.Ranks)
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * ms.SelfRefreshTime.Seconds() / total
+	}
+	return SelfRefreshStats{Entries: ms.SelfRefreshEntries, ResidencyPct: pct}
+}

@@ -1,0 +1,34 @@
+package power_test
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/power"
+)
+
+// ExampleTable3Bus reproduces the paper's Table 3 bus-energy arithmetic:
+// Cload = 36mm x 0.21pF/mm + 102mm x 0.1pF/mm + 2 modules x 3pF, and
+// C = 1.3 x Cload for impedance matching.
+func ExampleTable3Bus() {
+	bus := power.Table3Bus(2)
+	fmt.Printf("Cload = %.2f pF\n", bus.LoadCapacitancePF())
+	fmt.Printf("C     = %.3f pF\n", bus.WireCapacitancePF())
+	fmt.Printf("E(16-bit row address) = %.0f pJ per RAS-only refresh\n",
+		float64(bus.EnergyPerAccess(16)))
+	// Output:
+	// Cload = 23.76 pF
+	// C     = 30.888 pF
+	// E(16-bit row address) = 1601 pJ per RAS-only refresh
+}
+
+// ExampleDDR2Currents_Validate shows the datasheet current set used for
+// every configuration.
+func ExampleDDR2Currents_Validate() {
+	c := power.MicronDDR2_667()
+	fmt.Println("valid:", c.Validate() == nil)
+	fmt.Printf("standby ladder: IDD6=%v <= IDD2P=%v <= IDD2N=%v <= IDD3N=%v mA\n",
+		c.IDD6, c.IDD2P, c.IDD2N, c.IDD3N)
+	// Output:
+	// valid: true
+	// standby ladder: IDD6=6 <= IDD2P=7 <= IDD2N=35 <= IDD3N=45 mA
+}

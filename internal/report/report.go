@@ -1,0 +1,233 @@
+// Package report renders experiment results as CSV and Markdown, so the
+// regenerated figures can be diffed, plotted, or pasted into documents.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"smartrefresh/internal/experiment"
+)
+
+// Format selects an output format.
+type Format int
+
+// Supported formats.
+const (
+	Text Format = iota
+	CSV
+	Markdown
+	JSON
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "":
+		return Text, nil
+	case "csv":
+		return CSV, nil
+	case "markdown", "md":
+		return Markdown, nil
+	case "json":
+		return JSON, nil
+	default:
+		return 0, fmt.Errorf("report: unknown format %q (want text, csv, markdown or json)", s)
+	}
+}
+
+// WriteFigure renders one figure in the chosen format.
+func WriteFigure(w io.Writer, fig experiment.Figure, format Format) error {
+	switch format {
+	case Text:
+		fig.Format(w)
+		return nil
+	case CSV:
+		return writeFigureCSV(w, fig)
+	case Markdown:
+		return writeFigureMarkdown(w, fig)
+	case JSON:
+		return writeFigureJSON(w, fig)
+	default:
+		return fmt.Errorf("report: unknown format %d", int(format))
+	}
+}
+
+// figureJSON is the stable JSON shape of a figure.
+type figureJSON struct {
+	ID            string             `json:"id"`
+	Title         string             `json:"title"`
+	Unit          string             `json:"unit"`
+	Baseline      float64            `json:"baseline,omitempty"`
+	Values        map[string]float64 `json:"values"`
+	Order         []string           `json:"order"`
+	MeasuredGMean float64            `json:"measured_gmean"`
+	PaperGMean    float64            `json:"paper_gmean"`
+}
+
+func writeFigureJSON(w io.Writer, fig experiment.Figure) error {
+	out := figureJSON{
+		ID:            fig.ID,
+		Title:         fig.Title,
+		Unit:          fig.Unit,
+		Baseline:      fig.Baseline,
+		Values:        map[string]float64{},
+		Order:         fig.Series.Labels(),
+		MeasuredGMean: fig.MeasuredGMean,
+		PaperGMean:    fig.PaperGMean,
+	}
+	for _, label := range fig.Series.Labels() {
+		v, _ := fig.Series.Get(label)
+		out.Values[label] = v
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func writeFigureCSV(w io.Writer, fig experiment.Figure) error {
+	if _, err := fmt.Fprintf(w, "figure,benchmark,value,unit\n"); err != nil {
+		return err
+	}
+	for _, label := range fig.Series.Labels() {
+		v, _ := fig.Series.Get(label)
+		if _, err := fmt.Fprintf(w, "%s,%s,%.4f,%s\n", fig.ID, csvEscape(label), v, csvEscape(fig.Unit)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s,GMEAN,%.4f,%s\n", fig.ID, fig.MeasuredGMean, csvEscape(fig.Unit)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s,GMEAN(paper),%.4f,%s\n", fig.ID, fig.PaperGMean, csvEscape(fig.Unit))
+	return err
+}
+
+func writeFigureMarkdown(w io.Writer, fig experiment.Figure) error {
+	if _, err := fmt.Fprintf(w, "### %s: %s\n\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	if fig.Baseline > 0 {
+		if _, err := fmt.Fprintf(w, "Baseline: %.0f %s\n\n", fig.Baseline, fig.Unit); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| benchmark | %s |\n|---|---:|\n", fig.Unit); err != nil {
+		return err
+	}
+	for _, label := range fig.Series.Labels() {
+		v, _ := fig.Series.Get(label)
+		if _, err := fmt.Fprintf(w, "| %s | %.2f |\n", label, v); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "| **GMEAN** | **%.2f** (paper: %.2f) |\n\n",
+		fig.MeasuredGMean, fig.PaperGMean)
+	return err
+}
+
+// WritePairMetrics renders a sweep's pair metrics as one table.
+func WritePairMetrics(w io.Writer, rows []experiment.PairMetrics, format Format) error {
+	switch format {
+	case Text:
+		fmt.Fprintf(w, "%-16s %14s %14s %10s %10s %10s %10s\n",
+			"benchmark", "base refr/s", "smart refr/s", "refr -%", "refrE -%", "totE -%", "perf +%")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-16s %14.0f %14.0f %10.2f %10.2f %10.2f %10.3f\n",
+				r.Benchmark, r.BaselineRefreshesPerSec, r.SmartRefreshesPerSec,
+				r.RefreshReductionPct, r.RefreshEnergySavingPct,
+				r.TotalEnergySavingPct, r.PerfImprovementPct)
+		}
+		return nil
+	case CSV:
+		if _, err := fmt.Fprintln(w, "benchmark,config,baseline_refr_per_s,smart_refr_per_s,refresh_reduction_pct,refresh_energy_saving_pct,total_energy_saving_pct,perf_improvement_pct"); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(w, "%s,%s,%.2f,%.2f,%.4f,%.4f,%.4f,%.4f\n",
+				csvEscape(r.Benchmark), csvEscape(r.Config),
+				r.BaselineRefreshesPerSec, r.SmartRefreshesPerSec,
+				r.RefreshReductionPct, r.RefreshEnergySavingPct,
+				r.TotalEnergySavingPct, r.PerfImprovementPct); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Markdown:
+		if _, err := fmt.Fprintln(w, "| benchmark | base refr/s | smart refr/s | refr −% | refrE −% | totE −% | perf +% |"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|"); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(w, "| %s | %.0f | %.0f | %.2f | %.2f | %.2f | %.3f |\n",
+				r.Benchmark, r.BaselineRefreshesPerSec, r.SmartRefreshesPerSec,
+				r.RefreshReductionPct, r.RefreshEnergySavingPct,
+				r.TotalEnergySavingPct, r.PerfImprovementPct); err != nil {
+				return err
+			}
+		}
+		return nil
+	case JSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	default:
+		return fmt.Errorf("report: unknown format %d", int(format))
+	}
+}
+
+// WriteFigureBars renders the figure as a terminal bar chart, echoing the
+// paper's bar-per-benchmark presentation.
+func WriteFigureBars(w io.Writer, fig experiment.Figure, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if _, err := fmt.Fprintf(w, "%s: %s [%s]\n", fig.ID, fig.Title, fig.Unit); err != nil {
+		return err
+	}
+	maxVal := fig.Baseline
+	for _, v := range fig.Series.Values() {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	bar := func(v float64) string {
+		n := int(v / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		return strings.Repeat("#", n)
+	}
+	for _, label := range fig.Series.Labels() {
+		v, _ := fig.Series.Get(label)
+		if _, err := fmt.Fprintf(w, "  %-16s %12.2f |%-*s|\n", label, v, width, bar(v)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  %-16s %12.2f |%-*s|\n", "GMEAN", fig.MeasuredGMean, width, bar(fig.MeasuredGMean)); err != nil {
+		return err
+	}
+	if fig.Baseline > 0 {
+		if _, err := fmt.Fprintf(w, "  %-16s %12.2f |%-*s|\n", "baseline", fig.Baseline, width, bar(fig.Baseline)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a field if it contains separators or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,213 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smartrefresh/internal/experiment"
+	"smartrefresh/internal/stats"
+)
+
+func sampleFigure() experiment.Figure {
+	s := stats.NewSeries("fig6")
+	s.Set("fasta", 1515531)
+	s.Set("gcc", 1433609)
+	return experiment.Figure{
+		ID: "fig6", Title: "Number of refreshes per second, 2GB DRAM",
+		Unit: "refreshes/s", Series: s, Baseline: 2048000,
+		MeasuredGMean: s.GeoMean(), PaperGMean: 691435,
+	}
+}
+
+func samplePairs() []experiment.PairMetrics {
+	return []experiment.PairMetrics{
+		{
+			Benchmark: "fasta", Config: "table1-2gb",
+			BaselineRefreshesPerSec: 2048000, SmartRefreshesPerSec: 1515531,
+			RefreshReductionPct: 26, RefreshEnergySavingPct: 25.9,
+			TotalEnergySavingPct: 5.7, PerfImprovementPct: 0.09,
+		},
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"text": Text, "": Text, "csv": CSV, "CSV": CSV,
+		"markdown": Markdown, "md": Markdown,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure(&sb, sampleFigure(), CSV); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"figure,benchmark,value,unit",
+		"fig6,fasta,1515531.0000,refreshes/s",
+		"fig6,GMEAN,",
+		"fig6,GMEAN(paper),691435.0000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	// Every line has the same field count.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.Count(line, ",") != 3 {
+			t.Errorf("CSV line with wrong field count: %q", line)
+		}
+	}
+}
+
+func TestWriteFigureMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure(&sb, sampleFigure(), Markdown); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"### fig6:",
+		"Baseline: 2048000",
+		"| fasta | 1515531.00 |",
+		"**GMEAN**",
+		"paper: 691435.00",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFigureText(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure(&sb, sampleFigure(), Text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "baseline = 2048000") {
+		t.Errorf("text output wrong:\n%s", sb.String())
+	}
+}
+
+func TestWritePairMetricsFormats(t *testing.T) {
+	for _, f := range []Format{Text, CSV, Markdown} {
+		var sb strings.Builder
+		if err := WritePairMetrics(&sb, samplePairs(), f); err != nil {
+			t.Fatalf("format %v: %v", f, err)
+		}
+		if !strings.Contains(sb.String(), "fasta") {
+			t.Errorf("format %v missing benchmark:\n%s", f, sb.String())
+		}
+	}
+}
+
+func TestWritePairMetricsCSVHeader(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePairMetrics(&sb, samplePairs(), CSV); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,config,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "fasta,table1-2gb,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("plain escaped: %q", got)
+	}
+	if got := csvEscape(`a,b`); got != `"a,b"` {
+		t.Errorf("comma not escaped: %q", got)
+	}
+	if got := csvEscape(`say "hi"`); got != `"say ""hi"""` {
+		t.Errorf("quotes not escaped: %q", got)
+	}
+}
+
+func TestWriteFigureJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure(&sb, sampleFigure(), JSON); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID       string             `json:"id"`
+		Values   map[string]float64 `json:"values"`
+		Order    []string           `json:"order"`
+		Baseline float64            `json:"baseline"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded.ID != "fig6" || decoded.Values["fasta"] != 1515531 || decoded.Baseline != 2048000 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if len(decoded.Order) != 2 || decoded.Order[0] != "fasta" {
+		t.Errorf("order = %v", decoded.Order)
+	}
+}
+
+func TestWritePairMetricsJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePairMetrics(&sb, samplePairs(), JSON); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rows); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rows) != 1 || rows[0]["Benchmark"] != "fasta" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestWriteFigureBars(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureBars(&sb, sampleFigure(), 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "#") {
+		t.Errorf("no bars rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "baseline") {
+		t.Errorf("baseline row missing:\n%s", out)
+	}
+	// The baseline (largest value) fills the full width.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "baseline") && !strings.Contains(line, strings.Repeat("#", 40)) {
+			t.Errorf("baseline bar not full width: %q", line)
+		}
+	}
+	// A tiny width is clamped rather than breaking.
+	sb.Reset()
+	if err := WriteFigureBars(&sb, sampleFigure(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFormatErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure(&sb, sampleFigure(), Format(99)); err == nil {
+		t.Error("unknown figure format accepted")
+	}
+	if err := WritePairMetrics(&sb, samplePairs(), Format(99)); err == nil {
+		t.Error("unknown pair format accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (FIFO tie-break), which keeps simulations
+// deterministic regardless of heap internals.
+type Event struct {
+	At   Time
+	Fire func(now Time)
+
+	seq   uint64
+	index int
+}
+
+// EventQueue is a min-heap of events keyed by (time, insertion order).
+// The zero value is ready to use.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Schedule adds a callback to fire at time at and returns the event so it
+// can be cancelled later.
+func (q *EventQueue) Schedule(at Time, fire func(now Time)) *Event {
+	q.seq++
+	e := &Event{At: at, Fire: fire, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(q.h) || q.h[e.index] != e {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// PeekTime returns the time of the earliest pending event. The second
+// return value is false if the queue is empty.
+func (q *EventQueue) PeekTime() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest pending event, or nil if empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.h).(*Event)
+	e.index = -1
+	return e
+}
+
+// RunUntil fires events in order until the queue is empty or the next
+// event is after the deadline. It returns the time of the last fired event
+// (or the deadline if nothing fired after it).
+func (q *EventQueue) RunUntil(deadline Time) Time {
+	last := Time(0)
+	for {
+		t, ok := q.PeekTime()
+		if !ok || t > deadline {
+			return last
+		}
+		e := q.Pop()
+		last = e.At
+		e.Fire(e.At)
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

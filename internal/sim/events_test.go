@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	var fired []Time
+	for _, at := range []Time{30, 10, 20, 5, 25} {
+		at := at
+		q.Schedule(at, func(now Time) { fired = append(fired, now) })
+	}
+	q.RunUntil(100)
+	want := []Time{5, 10, 20, 25, 30}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %d, want %d", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestEventQueueFIFOTieBreak(t *testing.T) {
+	var q EventQueue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(50, func(Time) { order = append(order, i) })
+	}
+	q.RunUntil(50)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order %v not FIFO", order)
+		}
+	}
+}
+
+func TestEventQueueDeadline(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	q.Schedule(10, func(Time) { fired++ })
+	q.Schedule(20, func(Time) { fired++ })
+	q.Schedule(30, func(Time) { fired++ })
+	last := q.RunUntil(20)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if last != 20 {
+		t.Errorf("last = %d, want 20", last)
+	}
+	if q.Len() != 1 {
+		t.Errorf("queue length = %d, want 1", q.Len())
+	}
+}
+
+func TestEventQueueCancel(t *testing.T) {
+	var q EventQueue
+	fired := false
+	e := q.Schedule(10, func(Time) { fired = true })
+	q.Cancel(e)
+	q.RunUntil(100)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling twice and cancelling nil are no-ops.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestEventQueueCancelMiddle(t *testing.T) {
+	var q EventQueue
+	var fired []Time
+	es := make([]*Event, 0, 5)
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		es = append(es, q.Schedule(at, func(now Time) { fired = append(fired, now) }))
+	}
+	q.Cancel(es[2]) // cancel time 3
+	q.RunUntil(10)
+	want := []Time{1, 2, 4, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEventQueueScheduleDuringRun(t *testing.T) {
+	var q EventQueue
+	var fired []Time
+	q.Schedule(10, func(now Time) {
+		fired = append(fired, now)
+		q.Schedule(now+5, func(n2 Time) { fired = append(fired, n2) })
+	})
+	q.RunUntil(100)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired %v, want [10 15]", fired)
+	}
+}
+
+func TestEventQueuePeekPopEmpty(t *testing.T) {
+	var q EventQueue
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue returned ok")
+	}
+	if q.Pop() != nil {
+		t.Error("Pop on empty queue returned event")
+	}
+}
+
+// Property: events fire in nondecreasing time order for arbitrary schedules.
+func TestEventQueueOrderProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		var q EventQueue
+		var fired []Time
+		for _, v := range raw {
+			at := Time(int64(v) & 0x7fff)
+			q.Schedule(at, func(now Time) { fired = append(fired, now) })
+		}
+		q.RunUntil(1 << 20)
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

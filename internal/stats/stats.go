@@ -1,0 +1,240 @@
+// Package stats provides the counters, histograms and aggregate helpers
+// used by the simulator and the experiment harness. The paper reports
+// per-benchmark series plus geometric means (GMEAN labels in Figures 6-18),
+// so geometric-mean support is first class here.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a simple monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Sample accumulates a stream of float64 observations and reports moments.
+type Sample struct {
+	n    uint64
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Observe adds one observation.
+func (s *Sample) Observe(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	s.sum += v
+	s.sum2 += v * v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() uint64 { return s.n }
+
+// Sum returns the sum of observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Sample) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sum2/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// GeoMean returns the geometric mean of vs, ignoring non-positive entries
+// the same way the paper's GMEAN rows do (a zero saving would otherwise
+// zero the whole mean). It returns 0 if no positive entries exist.
+func GeoMean(vs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, v := range vs {
+		if v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of vs, or 0 for an empty slice.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Histogram is a fixed-bucket histogram over [0, buckets*width). Values at
+// or beyond the top land in an overflow bucket.
+type Histogram struct {
+	width    float64
+	counts   []uint64
+	overflow uint64
+	total    uint64
+}
+
+// NewHistogram creates a histogram with the given bucket count and width.
+func NewHistogram(buckets int, width float64) *Histogram {
+	if buckets <= 0 || width <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram shape buckets=%d width=%v", buckets, width))
+	}
+	return &Histogram{width: width, counts: make([]uint64, buckets)}
+}
+
+// Observe adds an observation. Negative values count in bucket 0.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	if v < 0 {
+		h.counts[0]++
+		return
+	}
+	i := int(v / h.width)
+	if i >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// Overflow returns the count of observations beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
+// bucket upper edges. The overflow bucket reports +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * h.width
+		}
+	}
+	return math.Inf(1)
+}
+
+// Series is a named list of (label, value) points — one per benchmark —
+// matching how the paper's figures are organised. It preserves insertion
+// order so output matches the figure's x-axis ordering.
+type Series struct {
+	Name   string
+	labels []string
+	values map[string]float64
+}
+
+// NewSeries creates an empty series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, values: make(map[string]float64)}
+}
+
+// Set records a value for a label, adding the label on first use.
+func (s *Series) Set(label string, v float64) {
+	if _, ok := s.values[label]; !ok {
+		s.labels = append(s.labels, label)
+	}
+	s.values[label] = v
+}
+
+// Get returns the value for a label.
+func (s *Series) Get(label string) (float64, bool) {
+	v, ok := s.values[label]
+	return v, ok
+}
+
+// Labels returns the labels in insertion order.
+func (s *Series) Labels() []string {
+	out := make([]string, len(s.labels))
+	copy(out, s.labels)
+	return out
+}
+
+// Values returns the values in label insertion order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, 0, len(s.labels))
+	for _, l := range s.labels {
+		out = append(out, s.values[l])
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of the series values.
+func (s *Series) GeoMean() float64 { return GeoMean(s.Values()) }
+
+// Mean returns the arithmetic mean of the series values.
+func (s *Series) Mean() float64 { return Mean(s.Values()) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.labels) }
+
+// SortedLabels returns the labels sorted lexicographically (useful for
+// stable test output independent of insertion order).
+func (s *Series) SortedLabels() []string {
+	out := s.Labels()
+	sort.Strings(out)
+	return out
+}

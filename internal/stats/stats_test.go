@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter after reset = %d", c.Value())
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Observe(v)
+	}
+	if s.N() != 4 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Sum() != 10 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 {
+		t.Error("empty sample should report zero moments")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 100})
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean(1,100) = %v, want 10", got)
+	}
+	// Non-positive entries are ignored, as in the paper's GMEAN rows.
+	got = GeoMean([]float64{0, 1, 100, -3})
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean ignoring <=0 = %v, want 10", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Error("GeoMean of all non-positive != 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean(2,4) != 3")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	for _, v := range []float64{0.5, 1.5, 1.7, 9.9, 10.0, 55, -1} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Bucket(0) != 2 { // 0.5 and the clamped -1
+		t.Errorf("Bucket(0) = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 2 {
+		t.Errorf("Bucket(1) = %d", h.Bucket(1))
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d", h.Overflow())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(100, 1.0)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Errorf("Quantile(0.5) = %v, want 50", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Errorf("Quantile(1.0) = %v, want 100", q)
+	}
+	h.Observe(1e9)
+	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
+		t.Errorf("Quantile(1.0) with overflow = %v, want +Inf", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(4, 1)
+	if h.Quantile(0.5) != 0 {
+		t.Error("quantile of empty histogram should be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(0,1) did not panic")
+		}
+	}()
+	NewHistogram(0, 1)
+}
+
+func TestSeriesOrderAndValues(t *testing.T) {
+	s := NewSeries("fig6")
+	s.Set("clustalw", 1)
+	s.Set("fasta", 2)
+	s.Set("clustalw", 3) // overwrite keeps position
+	labels := s.Labels()
+	if len(labels) != 2 || labels[0] != "clustalw" || labels[1] != "fasta" {
+		t.Fatalf("labels = %v", labels)
+	}
+	vals := s.Values()
+	if vals[0] != 3 || vals[1] != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+	if v, ok := s.Get("fasta"); !ok || v != 2 {
+		t.Errorf("Get(fasta) = %v,%v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("Get(missing) reported ok")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	sorted := s.SortedLabels()
+	if sorted[0] != "clustalw" || sorted[1] != "fasta" {
+		t.Errorf("sorted labels = %v", sorted)
+	}
+}
+
+func TestSeriesAggregates(t *testing.T) {
+	s := NewSeries("x")
+	s.Set("a", 1)
+	s.Set("b", 100)
+	if math.Abs(s.GeoMean()-10) > 1e-9 {
+		t.Errorf("series GeoMean = %v", s.GeoMean())
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("series Mean = %v", s.Mean())
+	}
+}
+
+// Property: sample mean always lies between min and max.
+func TestSampleMeanBounded(t *testing.T) {
+	f := func(vs []float64) bool {
+		var s Sample
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue // avoid float64 overflow in the running sums
+			}
+			s.Observe(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9*math.Abs(s.Min())-1e-9 &&
+			m <= s.Max()+1e-9*math.Abs(s.Max())+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: geometric mean of positive values lies between min and max.
+func TestGeoMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vs []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			v = math.Abs(v)
+			if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) || v > 1e100 || v < 1e-100 {
+				continue
+			}
+			vs = append(vs, v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		g := GeoMean(vs)
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

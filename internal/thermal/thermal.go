@@ -1,0 +1,99 @@
+// Package thermal models the temperature dependence of DRAM refresh that
+// motivates the paper's 3D experiments: retention halves with every
+// ~10 degC of cell temperature, vendors budget their base refresh
+// interval up to 85 degC and require a doubled refresh rate above it
+// (Micron [23]), and a DRAM die stacked on a processor runs at about
+// 90.27 degC (the die-stacking study [14] the paper cites).
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"smartrefresh/internal/sim"
+)
+
+// Standard thermal points (degrees Celsius).
+const (
+	// NominalCaseTemp is the ambient-cooled DIMM operating point the base
+	// refresh interval is specified at.
+	NominalCaseTemp = 45.0
+	// ExtendedTempThreshold is the vendor threshold above which the
+	// refresh rate must double (Micron: 85 degC).
+	ExtendedTempThreshold = 85.0
+	// Stacked3DTemp is the operating temperature of a 64 MB DRAM die
+	// stacked face-to-face on a processor, per the study the paper cites.
+	Stacked3DTemp = 90.27
+)
+
+// RefreshInterval returns the refresh interval required at the given
+// temperature, applying the vendor step rule: the base interval holds up
+// to the extended-temperature threshold and halves above it. This is the
+// rule the paper applies to derive the 3D cache's 32 ms interval.
+func RefreshInterval(base sim.Duration, tempC float64) sim.Duration {
+	if base <= 0 {
+		panic(fmt.Sprintf("thermal: non-positive base interval %d", int64(base)))
+	}
+	if tempC > ExtendedTempThreshold {
+		return base / 2
+	}
+	return base
+}
+
+// RetentionScale returns the multiplicative retention-time scale at
+// tempC relative to the reference temperature, using the exponential
+// leakage model (retention halves every halvingStep degrees; ~10 degC is
+// the commonly measured slope). It underlies the step rule: vendors
+// round the continuous curve to a factor-of-two step at 85 degC.
+func RetentionScale(refC, tempC, halvingStep float64) float64 {
+	if halvingStep <= 0 {
+		panic("thermal: non-positive halving step")
+	}
+	return math.Exp2((refC - tempC) / halvingStep)
+}
+
+// ContinuousRefreshInterval returns the interval the exponential model
+// alone would require at tempC, given the base interval at refC. The
+// step rule of RefreshInterval is the conservative vendor envelope of
+// this curve.
+func ContinuousRefreshInterval(base sim.Duration, refC, tempC, halvingStep float64) sim.Duration {
+	scale := RetentionScale(refC, tempC, halvingStep)
+	out := sim.Duration(float64(base) * scale)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// StackTemperature estimates the operating temperature of a DRAM die
+// stacked on a processor: the processor's junction temperature plus a
+// per-layer conduction drop. With the default parameters it reproduces
+// the ~90 degC figure for a single DRAM layer over a ~88 degC core.
+type StackTemperature struct {
+	// CoreJunctionC is the processor junction temperature under load.
+	CoreJunctionC float64
+	// LayerDropC is the temperature change per stacked layer; die-to-die
+	// vias conduct well, so the drop is small (around 1 degC per layer).
+	LayerDropC float64
+}
+
+// DefaultStack returns parameters reproducing the paper's cited 90.27
+// degC for layer 1.
+func DefaultStack() StackTemperature {
+	return StackTemperature{CoreJunctionC: 91.27, LayerDropC: 1.0}
+}
+
+// LayerTemp returns the estimated temperature of the n-th DRAM layer
+// (layer 1 is bonded to the processor).
+func (s StackTemperature) LayerTemp(layer int) float64 {
+	if layer < 1 {
+		panic(fmt.Sprintf("thermal: layer %d < 1", layer))
+	}
+	return s.CoreJunctionC - float64(layer)*s.LayerDropC
+}
+
+// RequiredInterval returns the refresh interval the n-th layer needs,
+// given the base (sub-85 degC) interval.
+func (s StackTemperature) RequiredInterval(base sim.Duration, layer int) sim.Duration {
+	return RefreshInterval(base, s.LayerTemp(layer))
+}

@@ -1,0 +1,130 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smartrefresh/internal/sim"
+)
+
+func TestRefreshIntervalStepRule(t *testing.T) {
+	base := 64 * sim.Millisecond
+	// At or below 85 degC: base interval.
+	for _, temp := range []float64{25, 45, 85} {
+		if got := RefreshInterval(base, temp); got != base {
+			t.Errorf("at %v degC interval = %v, want %v", temp, got, base)
+		}
+	}
+	// Above 85 degC: doubled rate, the paper's 3D case.
+	for _, temp := range []float64{85.01, Stacked3DTemp, 100} {
+		if got := RefreshInterval(base, temp); got != 32*sim.Millisecond {
+			t.Errorf("at %v degC interval = %v, want 32ms", temp, got)
+		}
+	}
+}
+
+func TestRefreshIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive base accepted")
+		}
+	}()
+	RefreshInterval(0, 50)
+}
+
+func TestStacked3DTempMatchesPaper(t *testing.T) {
+	if Stacked3DTemp != 90.27 {
+		t.Errorf("Stacked3DTemp = %v", Stacked3DTemp)
+	}
+	s := DefaultStack()
+	if got := s.LayerTemp(1); math.Abs(got-90.27) > 1e-9 {
+		t.Errorf("layer 1 temp = %v, want 90.27", got)
+	}
+	// The 3D cache therefore needs the 32 ms interval.
+	if got := s.RequiredInterval(64*sim.Millisecond, 1); got != 32*sim.Millisecond {
+		t.Errorf("layer 1 interval = %v, want 32ms", got)
+	}
+}
+
+func TestLayerTempsDecrease(t *testing.T) {
+	s := DefaultStack()
+	for layer := 1; layer < 4; layer++ {
+		if s.LayerTemp(layer+1) >= s.LayerTemp(layer) {
+			t.Errorf("layer %d not cooler than layer %d", layer+1, layer)
+		}
+	}
+}
+
+func TestLayerTempPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("layer 0 accepted")
+		}
+	}()
+	DefaultStack().LayerTemp(0)
+}
+
+func TestRetentionScaleReference(t *testing.T) {
+	// At the reference temperature the scale is 1.
+	if got := RetentionScale(45, 45, 10); got != 1 {
+		t.Errorf("scale at ref = %v", got)
+	}
+	// One halving step hotter: half the retention.
+	if got := RetentionScale(45, 55, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("scale one step hotter = %v", got)
+	}
+	// One step cooler: double.
+	if got := RetentionScale(45, 35, 10); math.Abs(got-2) > 1e-12 {
+		t.Errorf("scale one step cooler = %v", got)
+	}
+}
+
+func TestContinuousIntervalMonotone(t *testing.T) {
+	base := 64 * sim.Millisecond
+	prev := ContinuousRefreshInterval(base, 45, 20, 10)
+	for temp := 25.0; temp <= 105; temp += 5 {
+		cur := ContinuousRefreshInterval(base, 45, temp, 10)
+		if cur > prev {
+			t.Fatalf("interval increased with temperature at %v degC", temp)
+		}
+		prev = cur
+	}
+}
+
+func TestStepRuleConservative(t *testing.T) {
+	// Up to ~95 degC the vendor step rule must demand at least as much
+	// refresh as the continuous model calibrated at 85 degC.
+	base := 64 * sim.Millisecond
+	for temp := 85.01; temp <= 95; temp += 0.5 {
+		step := RefreshInterval(base, temp)
+		cont := ContinuousRefreshInterval(base, 85, temp, 10)
+		if step > cont {
+			t.Errorf("at %v degC step rule %v weaker than continuous %v", temp, step, cont)
+		}
+	}
+}
+
+// Property: the continuous interval is positive and decreases (weakly)
+// with temperature.
+func TestContinuousIntervalProperty(t *testing.T) {
+	base := 64 * sim.Millisecond
+	f := func(raw uint8) bool {
+		temp := 20 + float64(raw%90)
+		a := ContinuousRefreshInterval(base, 45, temp, 10)
+		b := ContinuousRefreshInterval(base, 45, temp+1, 10)
+		return a > 0 && b > 0 && b <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRetentionScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero halving step accepted")
+		}
+	}()
+	RetentionScale(45, 55, 0)
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"smartrefresh/internal/sim"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Time: 0, Addr: 0x1000, Write: false},
+		{Time: 1500, Addr: 0x2040, Write: true},
+		{Time: 3000, Addr: 0xdeadbeef, Write: false},
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource(sampleRecords())
+	var got []Record
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted source returned ok")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r != sampleRecords()[0] {
+		t.Error("reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	l := NewLimit(NewSliceSource(sampleRecords()), 1500)
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("limit passed %d records, want 2", n)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Errorf("count = %d", w.Count())
+	}
+
+	r := NewBinaryReader(&buf)
+	for i, want := range sampleRecords() {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d missing: %v", i, r.Err())
+		}
+		if got != want {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("extra record")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF reported error %v", r.Err())
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewBinaryReader(&buf)
+	if _, ok := r.Next(); ok {
+		t.Error("empty trace yielded a record")
+	}
+	if r.Err() != nil {
+		t.Errorf("empty trace error: %v", r.Err())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	r := NewBinaryReader(strings.NewReader("not a trace file"))
+	if _, ok := r.Next(); ok {
+		t.Fatal("bad magic accepted")
+	}
+	if r.Err() != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", r.Err())
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewTextReader(&buf)
+	for i, want := range sampleRecords() {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d missing: %v", i, r.Err())
+		}
+		if got != want {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok || r.Err() != nil {
+		t.Errorf("end state wrong: %v", r.Err())
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n  \n100 0x40 R\n# mid\n200 64 W\n"
+	r := NewTextReader(strings.NewReader(in))
+	a, ok := r.Next()
+	if !ok || a.Addr != 0x40 || a.Write {
+		t.Fatalf("first = %+v ok=%v", a, ok)
+	}
+	b, ok := r.Next()
+	if !ok || b.Addr != 64 || !b.Write {
+		t.Fatalf("second = %+v ok=%v", b, ok)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 2",
+		"1 2 3 4",
+		"x 0x40 R",
+		"-5 0x40 R",
+		"1 zz R",
+		"1 0x40 Q",
+	}
+	for _, line := range bad {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("ParseRecord(%q) accepted", line)
+		}
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Time: 100, Addr: 0x40, Write: true}
+	if r.String() != "100 0x40 W" {
+		t.Errorf("String = %q", r.String())
+	}
+	r.Write = false
+	if r.String() != "100 0x40 R" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+// Property: binary codec round-trips arbitrary records.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(times []int64, addrs []uint64, writes []bool) bool {
+		n := len(times)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		var recs []Record
+		for i := 0; i < n; i++ {
+			tm := times[i]
+			if tm < 0 {
+				tm = -tm
+			}
+			recs = append(recs, Record{
+				Time:  sim.Time(tm),
+				Addr:  addrs[i],
+				Write: i < len(writes) && writes[i],
+			})
+		}
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		for _, r := range recs {
+			if w.Write(r) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd := NewBinaryReader(&buf)
+		for _, want := range recs {
+			got, ok := rd.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := rd.Next()
+		return !ok && rd.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: text codec round-trips arbitrary records.
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(tm uint32, addr uint64, write bool) bool {
+		rec := Record{Time: sim.Time(tm), Addr: addr, Write: write}
+		got, err := ParseRecord(rec.String())
+		return err == nil && got == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/trace"
+)
+
+// Phase is one segment of a phased workload.
+type Phase struct {
+	Spec     StreamSpec
+	Duration sim.Duration
+}
+
+// PhasedGenerator cycles through phases with different stream behaviour —
+// program phases (hot loops, scans, idle waits) that exercise the
+// section 4.6 self-disable transitions and make row-touch density vary
+// over time. It implements trace.Source with monotone timestamps.
+type PhasedGenerator struct {
+	phases []Phase
+	seed   uint64
+
+	idx        int
+	start      sim.Time // absolute start of current phase
+	gen        *Generator
+	cycleCount uint64
+}
+
+// NewPhasedGenerator builds a generator cycling through phases forever.
+// It panics on an empty phase list or a non-positive duration.
+func NewPhasedGenerator(phases []Phase, seed uint64) *PhasedGenerator {
+	if len(phases) == 0 {
+		panic("workload: no phases")
+	}
+	for i, p := range phases {
+		if p.Duration <= 0 {
+			panic(fmt.Sprintf("workload: phase %d has non-positive duration", i))
+		}
+		if err := p.Spec.Validate(); err != nil {
+			panic(fmt.Sprintf("workload: phase %d: %v", i, err))
+		}
+	}
+	g := &PhasedGenerator{phases: phases, seed: seed}
+	g.enterPhase(0, 0)
+	return g
+}
+
+func (g *PhasedGenerator) enterPhase(idx int, start sim.Time) {
+	g.idx = idx
+	g.start = start
+	// Distinct deterministic stream per phase and cycle.
+	g.gen = NewGenerator(g.phases[idx].Spec, g.seed^(uint64(idx)*0x9e3779b97f4a7c15)^(g.cycleCount<<32))
+}
+
+// PhaseIndex reports the current phase.
+func (g *PhasedGenerator) PhaseIndex() int { return g.idx }
+
+// Next implements trace.Source. Idle phases (empty footprint) emit
+// nothing but still consume their duration.
+func (g *PhasedGenerator) Next() (trace.Record, bool) {
+	for tries := 0; tries < len(g.phases)+1; tries++ {
+		phase := g.phases[g.idx]
+		rec, ok := g.gen.Next()
+		if ok && rec.Time < phase.Duration {
+			rec.Time += g.start
+			return rec, true
+		}
+		// Phase exhausted (or idle): move to the next one.
+		next := g.idx + 1
+		if next == len(g.phases) {
+			next = 0
+			g.cycleCount++
+		}
+		g.enterPhase(next, g.start+phase.Duration)
+	}
+	// All phases idle: the stream is empty.
+	return trace.Record{}, false
+}
+
+var _ trace.Source = (*PhasedGenerator)(nil)

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"smartrefresh/internal/sim"
+)
+
+func hotPhase(d sim.Duration) Phase {
+	return Phase{Spec: basicSpec(), Duration: d}
+}
+
+func idlePhase(d sim.Duration) Phase {
+	s := basicSpec()
+	s.FootprintBytes = 0
+	return Phase{Spec: s, Duration: d}
+}
+
+func TestPhasedGeneratorMonotone(t *testing.T) {
+	g := NewPhasedGenerator([]Phase{
+		hotPhase(10 * sim.Millisecond),
+		idlePhase(5 * sim.Millisecond),
+		hotPhase(10 * sim.Millisecond),
+	}, 7)
+	var last sim.Time
+	for i := 0; i < 5000; i++ {
+		rec, ok := g.Next()
+		if !ok {
+			t.Fatal("phased stream ended")
+		}
+		if rec.Time < last {
+			t.Fatalf("time went backwards: %v < %v", rec.Time, last)
+		}
+		last = rec.Time
+	}
+	if last < 25*sim.Millisecond {
+		t.Errorf("5000 records only reached %v; cycling broken?", last)
+	}
+}
+
+func TestPhasedGeneratorSkipsIdlePhases(t *testing.T) {
+	g := NewPhasedGenerator([]Phase{
+		hotPhase(4 * sim.Millisecond),
+		idlePhase(6 * sim.Millisecond),
+	}, 3)
+	// Count records in [0,4ms) vs [4ms,10ms): the idle window must be
+	// silent.
+	inHot, inIdle := 0, 0
+	for {
+		rec, ok := g.Next()
+		if !ok || rec.Time >= 10*sim.Millisecond {
+			break
+		}
+		if rec.Time < 4*sim.Millisecond {
+			inHot++
+		} else {
+			inIdle++
+		}
+	}
+	if inHot == 0 {
+		t.Error("hot phase produced nothing")
+	}
+	if inIdle != 0 {
+		t.Errorf("idle phase produced %d records", inIdle)
+	}
+}
+
+func TestPhasedGeneratorAllIdleEnds(t *testing.T) {
+	g := NewPhasedGenerator([]Phase{idlePhase(sim.Millisecond)}, 1)
+	if _, ok := g.Next(); ok {
+		t.Error("all-idle phased stream produced a record")
+	}
+}
+
+func TestPhasedGeneratorDeterministic(t *testing.T) {
+	mk := func() *PhasedGenerator {
+		return NewPhasedGenerator([]Phase{
+			hotPhase(3 * sim.Millisecond),
+			hotPhase(2 * sim.Millisecond),
+		}, 11)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 2000; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestPhasedGeneratorValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		phases []Phase
+	}{
+		{"empty", nil},
+		{"zero duration", []Phase{{Spec: basicSpec(), Duration: 0}}},
+		{"bad spec", []Phase{{Spec: StreamSpec{StrideBytes: -1}, Duration: sim.Millisecond}}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", c.name)
+				}
+			}()
+			NewPhasedGenerator(c.phases, 1)
+		}()
+	}
+}
+
+func TestPhasedGeneratorPhaseIndex(t *testing.T) {
+	g := NewPhasedGenerator([]Phase{
+		hotPhase(sim.Millisecond),
+		hotPhase(sim.Millisecond),
+	}, 5)
+	if g.PhaseIndex() != 0 {
+		t.Error("initial phase not 0")
+	}
+	for {
+		rec, _ := g.Next()
+		if rec.Time >= sim.Millisecond {
+			break
+		}
+	}
+	if g.PhaseIndex() != 1 {
+		t.Errorf("phase index = %d after crossing boundary", g.PhaseIndex())
+	}
+}

@@ -1,0 +1,228 @@
+// Package smartrefresh is a from-scratch reproduction of "Smart Refresh:
+// An Enhanced Memory Controller Design for Reducing Energy in Conventional
+// and 3D Die-Stacked DRAMs" (Ghosh & Lee, MICRO-40, 2007).
+//
+// The library bundles a DDR2 DRAM device and timing model, a Micron-style
+// energy model, a memory controller, an SRAM cache hierarchy with a 3D
+// die-stacked DRAM cache, the Smart Refresh policy itself (per-row
+// time-out counters with staggered countdown and a bounded pending refresh
+// queue) alongside CBR/burst/oracle baselines, synthetic benchmark
+// workloads calibrated to the paper's evaluation, and an experiment
+// harness that regenerates every figure of the paper (Figures 6-18).
+//
+// Quick start:
+//
+//	prof, _ := smartrefresh.ProfileByName("gcc")
+//	pm := smartrefresh.RunPair(smartrefresh.Table1_2GB(), prof, smartrefresh.RunOptions{})
+//	fmt.Printf("refresh ops reduced by %.1f%%\n", pm.RefreshReductionPct)
+//
+// The package re-exports the library's internal building blocks through
+// type aliases, so the full simulator is scriptable without reaching into
+// internal packages.
+package smartrefresh
+
+import (
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/experiment"
+	"smartrefresh/internal/memctrl"
+	"smartrefresh/internal/power"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/trace"
+	"smartrefresh/internal/workload"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Simulation time base.
+type (
+	// Time is a simulation timestamp in picoseconds.
+	Time = sim.Time
+	// Duration is a span of simulated time in picoseconds.
+	Duration = sim.Duration
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Configuration types and presets (Tables 1-3 of the paper).
+type (
+	// Config bundles geometry, timing, power model and Smart Refresh
+	// parameters for one DRAM module.
+	Config = config.DRAM
+	// CacheConfig describes an SRAM cache level or the 3D cache shape.
+	CacheConfig = config.CacheConfig
+	// Geometry is the physical organisation of a module.
+	Geometry = dram.Geometry
+	// Timing is the DDR2 command timing set.
+	Timing = dram.Timing
+	// PowerModel converts module activity into energy.
+	PowerModel = power.Model
+	// Energy is picojoules.
+	Energy = power.Energy
+	// EnergyBreakdown attributes energy to components.
+	EnergyBreakdown = power.Breakdown
+)
+
+// Table1_2GB returns the paper's 2 GB conventional DDR2 module (Table 1).
+func Table1_2GB() Config { return config.Table1_2GB() }
+
+// Table1_4GB returns the 4 GB variant with doubled banks (Table 1).
+func Table1_4GB() Config { return config.Table1_4GB() }
+
+// Table2_3D64 returns the 64 MB 3D die-stacked DRAM cache at a 64 ms
+// refresh interval (Table 2).
+func Table2_3D64() Config { return config.Table2_3D64(64 * sim.Millisecond) }
+
+// Table2_3D32 returns the Table 2 cache at the doubled 32 ms rate required
+// above 85 degC.
+func Table2_3D32() Config { return config.Table2_3D32() }
+
+// Table1L2 returns the paper's 1 MB 8-way L2 (Table 1).
+func Table1L2() CacheConfig { return config.Table1L2() }
+
+// Table2_3DCache returns the 64 MB direct-mapped 3D cache organisation.
+func Table2_3DCache() CacheConfig { return config.Table2_3DCache() }
+
+// Refresh policies (the paper's contribution and its baselines).
+type (
+	// Policy schedules refresh operations.
+	Policy = core.Policy
+	// SmartConfig parameterises the Smart Refresh policy.
+	SmartConfig = core.SmartConfig
+	// PolicyStats is policy-side telemetry.
+	PolicyStats = core.PolicyStats
+)
+
+// DefaultSmartConfig returns the paper's simulated configuration: 3-bit
+// counters, 8 segments, an 8-entry pending queue, 1%/2% self-disable.
+func DefaultSmartConfig() SmartConfig { return core.DefaultSmartConfig() }
+
+// NewSmartPolicy builds the Smart Refresh policy for a configuration.
+func NewSmartPolicy(cfg Config) Policy {
+	return core.NewSmart(cfg.Geometry, cfg.RefreshInterval(), cfg.Smart)
+}
+
+// NewCBRPolicy builds the distributed CAS-before-RAS baseline.
+func NewCBRPolicy(cfg Config) Policy {
+	return core.NewCBR(cfg.Geometry, cfg.RefreshInterval())
+}
+
+// NewBurstPolicy builds the burst refresh policy.
+func NewBurstPolicy(cfg Config) Policy {
+	return core.NewBurst(cfg.Geometry, cfg.RefreshInterval())
+}
+
+// NewOraclePolicy builds the 100%-optimality oracle bound.
+func NewOraclePolicy(cfg Config) Policy {
+	return core.NewOracle(cfg.Geometry, cfg.RefreshInterval(), cfg.Timing.TRefreshRow*16)
+}
+
+// Optimality returns the section 4.4 metric (1 - 2^-bits).
+func Optimality(counterBits int) float64 { return core.Optimality(counterBits) }
+
+// CounterAreaKB returns the section 4.7 counter-array storage overhead.
+func CounterAreaKB(g Geometry, counterBits int) float64 {
+	return core.CounterAreaKB(g, counterBits)
+}
+
+// Memory controller.
+type (
+	// Controller owns one DRAM module and one refresh policy.
+	Controller = memctrl.Controller
+	// Request is one demand memory transaction.
+	Request = memctrl.Request
+	// ControllerOptions tunes controller construction.
+	ControllerOptions = memctrl.Options
+	// Results summarises a finished controller run.
+	Results = memctrl.Results
+)
+
+// NewController builds a memory controller for a configuration and policy.
+func NewController(cfg Config, policy Policy, opts ControllerOptions) (*Controller, error) {
+	return memctrl.New(cfg, policy, opts)
+}
+
+// Workloads and traces.
+type (
+	// Profile is one benchmark's calibrated synthetic stand-in.
+	Profile = workload.Profile
+	// StreamSpec parameterises one synthetic access stream.
+	StreamSpec = workload.StreamSpec
+	// TraceRecord is one demand access.
+	TraceRecord = trace.Record
+	// TraceSource streams access records in time order.
+	TraceSource = trace.Source
+)
+
+// Profiles returns the 32 paper benchmarks in figure order.
+func Profiles() []Profile { return workload.Profiles() }
+
+// ProfileByName returns one benchmark profile.
+func ProfileByName(name string) (Profile, error) { return workload.ByName(name) }
+
+// BenchmarkNames lists the benchmark names in figure order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// IdleProfile returns the near-idle workload of section 4.6.
+func IdleProfile() Profile { return workload.Idle() }
+
+// NewGenerator builds a deterministic stream generator.
+func NewGenerator(spec StreamSpec, seed uint64) TraceSource {
+	return workload.NewGenerator(spec, seed)
+}
+
+// Experiments (one harness per paper figure).
+type (
+	// Suite runs benchmark sweeps and derives figures with memoisation.
+	Suite = experiment.Suite
+	// Figure is one reproduced evaluation figure.
+	Figure = experiment.Figure
+	// RunOptions controls a single simulation run.
+	RunOptions = experiment.RunOptions
+	// RunResult is one run's measured window.
+	RunResult = experiment.RunResult
+	// PairMetrics compares Smart Refresh against the CBR baseline.
+	PairMetrics = experiment.PairMetrics
+	// PolicyKind selects a refresh policy by name.
+	PolicyKind = experiment.PolicyKind
+	// ConfigKind selects one of the four evaluated configurations.
+	ConfigKind = experiment.ConfigKind
+)
+
+// Policy kinds.
+const (
+	PolicyCBR    = experiment.PolicyCBR
+	PolicySmart  = experiment.PolicySmart
+	PolicyBurst  = experiment.PolicyBurst
+	PolicyNone   = experiment.PolicyNone
+	PolicyOracle = experiment.PolicyOracle
+)
+
+// Evaluated configurations.
+const (
+	Conv2GB     = experiment.Conv2GB
+	Conv4GB     = experiment.Conv4GB
+	Stacked3D64 = experiment.Stacked3D64
+	Stacked3D32 = experiment.Stacked3D32
+)
+
+// NewSuite builds an experiment suite with default options.
+func NewSuite() *Suite { return experiment.NewSuite() }
+
+// Run simulates one benchmark against one configuration and policy.
+func Run(cfg Config, prof Profile, kind PolicyKind, opts RunOptions) RunResult {
+	return experiment.Run(cfg, prof, kind, opts)
+}
+
+// RunPair runs CBR and Smart Refresh on the same stream and compares them.
+func RunPair(cfg Config, prof Profile, opts RunOptions) PairMetrics {
+	return experiment.RunPair(cfg, prof, opts)
+}

@@ -1,0 +1,126 @@
+package smartrefresh_test
+
+import (
+	"testing"
+
+	"smartrefresh"
+)
+
+func TestPresetsAccessible(t *testing.T) {
+	for _, cfg := range []smartrefresh.Config{
+		smartrefresh.Table1_2GB(), smartrefresh.Table1_4GB(),
+		smartrefresh.Table2_3D64(), smartrefresh.Table2_3D32(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	if smartrefresh.Table1L2().SizeBytes != 1<<20 {
+		t.Error("L2 preset wrong")
+	}
+	if smartrefresh.Table2_3DCache().SizeBytes != 64<<20 {
+		t.Error("3D cache preset wrong")
+	}
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	prof, err := smartrefresh.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smartrefresh.RunOptions{
+		Warmup:  64 * smartrefresh.Millisecond,
+		Measure: 128 * smartrefresh.Millisecond,
+	}
+	pm := smartrefresh.RunPair(smartrefresh.Table1_2GB(), prof, opts)
+	if pm.RefreshReductionPct < 20 || pm.RefreshReductionPct > 40 {
+		t.Errorf("gcc reduction = %.1f%%, want ~30%%", pm.RefreshReductionPct)
+	}
+	if pm.TotalEnergySavingPct <= 0 {
+		t.Errorf("total saving = %.2f%%", pm.TotalEnergySavingPct)
+	}
+}
+
+func TestPublicControllerFlow(t *testing.T) {
+	cfg := smartrefresh.Table1_2GB()
+	ctl, err := smartrefresh.NewController(cfg, smartrefresh.NewSmartPolicy(cfg),
+		smartrefresh.ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Submit(smartrefresh.Request{Time: 0, Addr: 0x1000})
+	ctl.Finish(10 * smartrefresh.Millisecond)
+	res := ctl.Results(10 * smartrefresh.Millisecond)
+	if res.Requests != 1 {
+		t.Errorf("requests = %d", res.Requests)
+	}
+	if res.Energy.Total() <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	cfg := smartrefresh.Table1_2GB()
+	for _, p := range []smartrefresh.Policy{
+		smartrefresh.NewSmartPolicy(cfg),
+		smartrefresh.NewCBRPolicy(cfg),
+		smartrefresh.NewBurstPolicy(cfg),
+		smartrefresh.NewOraclePolicy(cfg),
+	} {
+		if p.Name() == "" {
+			t.Error("policy without name")
+		}
+	}
+}
+
+func TestPublicFormulas(t *testing.T) {
+	if smartrefresh.Optimality(3) != 0.875 {
+		t.Error("Optimality(3)")
+	}
+	if smartrefresh.CounterAreaKB(smartrefresh.Table1_2GB().Geometry, 3) != 48 {
+		t.Error("CounterAreaKB")
+	}
+}
+
+func TestPublicBenchmarkList(t *testing.T) {
+	if len(smartrefresh.Profiles()) != 32 {
+		t.Error("profiles != 32")
+	}
+	if len(smartrefresh.BenchmarkNames()) != 32 {
+		t.Error("names != 32")
+	}
+	if smartrefresh.IdleProfile().Name != "idle-os" {
+		t.Error("idle profile")
+	}
+	if _, err := smartrefresh.ProfileByName("missing"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPublicGenerator(t *testing.T) {
+	prof, _ := smartrefresh.ProfileByName("fasta")
+	gen := smartrefresh.NewGenerator(prof.MainSpec(), 1)
+	rec, ok := gen.Next()
+	if !ok {
+		t.Fatal("generator empty")
+	}
+	if rec.Time < 0 {
+		t.Error("negative time")
+	}
+}
+
+func TestPublicSuiteSubset(t *testing.T) {
+	s := smartrefresh.NewSuite()
+	s.Benchmarks = []string{"fasta"}
+	s.Opts = smartrefresh.RunOptions{
+		Warmup:  64 * smartrefresh.Millisecond,
+		Measure: 64 * smartrefresh.Millisecond,
+	}
+	fig, err := s.FigureByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Series.Len() != 1 {
+		t.Errorf("series len = %d", fig.Series.Len())
+	}
+}
