@@ -134,7 +134,7 @@ func BenchmarkOptimalityCounterWidth(b *testing.B) {
 	}
 	var pts []experiment.CounterWidthPoint
 	for i := 0; i < b.N; i++ {
-		pts = experiment.CounterWidthStudy(prof, []int{2, 3, 4}, experiment.RunOptions{
+		pts = experiment.CounterWidthStudy(nil, prof, []int{2, 3, 4}, experiment.RunOptions{
 			Warmup:  64 * smartrefresh.Millisecond,
 			Measure: 128 * smartrefresh.Millisecond,
 		})
@@ -161,7 +161,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 	}
 	var pts []experiment.SegmentsPoint
 	for i := 0; i < b.N; i++ {
-		pts = experiment.SegmentsStudy(prof, []int{4, 8, 16}, experiment.RunOptions{
+		pts = experiment.SegmentsStudy(nil, prof, []int{4, 8, 16}, experiment.RunOptions{
 			Warmup:  64 * smartrefresh.Millisecond,
 			Measure: 64 * smartrefresh.Millisecond,
 		})
@@ -177,7 +177,7 @@ func BenchmarkAblationBusOverhead(b *testing.B) {
 	}
 	var pts []experiment.BusOverheadPoint
 	for i := 0; i < b.N; i++ {
-		pts = experiment.BusOverheadStudy(prof, experiment.RunOptions{
+		pts = experiment.BusOverheadStudy(nil, prof, experiment.RunOptions{
 			Warmup:  64 * smartrefresh.Millisecond,
 			Measure: 64 * smartrefresh.Millisecond,
 		})
@@ -190,7 +190,7 @@ func BenchmarkAblationBusOverhead(b *testing.B) {
 func BenchmarkAblationDisableThresholds(b *testing.B) {
 	var pts []experiment.ThresholdPoint
 	for i := 0; i < b.N; i++ {
-		pts = experiment.DisableThresholdStudy(0.002, [][2]float64{
+		pts = experiment.DisableThresholdStudy(nil, 0.002, [][2]float64{
 			{0.01, 0.02}, {0.005, 0.01}, {0.0001, 0.0002},
 		}, experiment.RunOptions{
 			Warmup:  64 * smartrefresh.Millisecond,
@@ -210,7 +210,7 @@ func BenchmarkAblationRetentionAware(b *testing.B) {
 	}
 	var pts []experiment.RetentionAwarePoint
 	for i := 0; i < b.N; i++ {
-		pts = experiment.RetentionAwareStudy(prof, experiment.RunOptions{
+		pts = experiment.RetentionAwareStudy(nil, prof, experiment.RunOptions{
 			Warmup:  64 * smartrefresh.Millisecond,
 			Measure: 128 * smartrefresh.Millisecond,
 		})
@@ -223,7 +223,7 @@ func BenchmarkAblationRetentionAware(b *testing.B) {
 func BenchmarkDisableIdleWorkload(b *testing.B) {
 	var res experiment.DisableStudyResult
 	for i := 0; i < b.N; i++ {
-		res = experiment.DisableStudy(experiment.RunOptions{
+		res = experiment.DisableStudy(nil, experiment.RunOptions{
 			Warmup:  64 * smartrefresh.Millisecond,
 			Measure: 192 * smartrefresh.Millisecond,
 		})
@@ -236,11 +236,32 @@ func BenchmarkDisableIdleWorkload(b *testing.B) {
 func BenchmarkEDRAMIntervalSweep(b *testing.B) {
 	var pts []experiment.EDRAMPoint
 	for i := 0; i < b.N; i++ {
-		pts = experiment.EDRAMStudy()
+		pts = experiment.EDRAMStudy(nil)
 	}
 	b.ReportMetric(pts[1].BaselineRefreshSharePct, "4ms_refresh_share_%")
 	b.ReportMetric(pts[1].TotalSavingPct, "4ms_total_saving_%")
 }
+
+// Engine scaling: the same four-benchmark 2 GB sweep executed serially
+// and on the default worker pool. The ratio is the parallel speedup
+// recorded in EXPERIMENTS.md.
+
+func benchSweep(b *testing.B, workers int) {
+	b.ReportAllocs()
+	var pairs []smartrefresh.PairMetrics
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		s.Engine = smartrefresh.NewEngine(workers)
+		pairs = s.Sweep(smartrefresh.Conv2GB)
+	}
+	if len(pairs) != len(benchSubset) {
+		b.Fatalf("sweep returned %d pairs", len(pairs))
+	}
+	b.ReportMetric(pairs[0].RefreshReductionPct, "reduction_%")
+}
+
+func BenchmarkSuiteSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSweep(b, 0) }
 
 // Micro-benchmarks of the hot paths.
 

@@ -4,12 +4,16 @@
 // section 5 queue sizing study, the RAS-only bus overhead ablation, and
 // the section 4.6 idle-OS self-disable experiment.
 //
-// The full sweep (32 benchmarks x 4 configurations x 2 policies) takes a
-// few minutes; use -benchmarks and -figures to restrict it.
+// Simulations run on a worker pool (-jobs, default one worker per CPU)
+// and are memoised, so the figure groups that share a sweep (6/7/8,
+// 9/10/11, 12/13/14, 15/16/17/18) each simulate their (config,
+// benchmark, policy) combinations exactly once. Use -benchmarks and
+// -figures to restrict the sweep further.
 //
 // Examples:
 //
 //	experiments                          # everything
+//	experiments -jobs 1                  # serial (identical output)
 //	experiments -figures fig6,fig7,fig8  # one configuration's sweep
 //	experiments -benchmarks fasta,gcc -figures fig12
 //	experiments -ablations               # only the ablation studies
@@ -19,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"smartrefresh/internal/experiment"
@@ -43,6 +48,7 @@ func run(args []string) error {
 	ablations := fs.Bool("ablations", false, "run the ablation studies (also run with -figures none)")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines")
 	formatName := fs.String("format", "text", "figure output format: text, csv, markdown, json")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +57,19 @@ func run(args []string) error {
 		return err
 	}
 
+	eng := experiment.NewEngine(*jobs)
+	if !*quiet {
+		eng.OnJobDone = func(ev experiment.JobEvent) {
+			if ev.Cached {
+				fmt.Fprintf(os.Stderr, "job %s/%s/%s: memoised\n", ev.Config, ev.Benchmark, ev.Policy)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "job %s/%s/%s: %.2fs\n", ev.Config, ev.Benchmark, ev.Policy, ev.Wall.Seconds())
+		}
+	}
+
 	suite := experiment.NewSuite()
+	suite.Engine = eng
 	suite.Opts = experiment.RunOptions{
 		Warmup:  sim.Time(*warmupMS) * sim.Millisecond,
 		Measure: sim.Time(*measureMS) * sim.Millisecond,
@@ -83,14 +101,20 @@ func run(args []string) error {
 	}
 
 	if *ablations || *figures == "none" {
-		if err := runAblations(suite.Opts); err != nil {
+		if err := runAblations(eng, suite.Opts); err != nil {
+			return err
+		}
+	}
+
+	if !*quiet {
+		if err := report.WriteEngineStats(os.Stderr, eng.Stats(), report.Text); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runAblations(opts experiment.RunOptions) error {
+func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
 	gcc, err := workload.ByName("gcc")
 	if err != nil {
 		return err
@@ -102,7 +126,7 @@ func runAblations(opts experiment.RunOptions) error {
 
 	fmt.Println("== Section 4.4: counter width vs optimality (benchmark: gcc) ==")
 	fmt.Print(experiment.FormatCounterWidthStudy(
-		experiment.CounterWidthStudy(gcc, []int{2, 3, 4, 5}, opts)))
+		experiment.CounterWidthStudy(eng, gcc, []int{2, 3, 4, 5}, opts)))
 	fmt.Println()
 
 	fmt.Println("== Figure 2 ablation: staggered vs uniform counter seeding ==")
@@ -113,28 +137,28 @@ func runAblations(opts experiment.RunOptions) error {
 	fmt.Println()
 
 	fmt.Println("== Section 5: segment count / pending queue sizing (benchmark: fasta) ==")
-	for _, p := range experiment.SegmentsStudy(fasta, []int{4, 8, 16}, opts) {
+	for _, p := range experiment.SegmentsStudy(eng, fasta, []int{4, 8, 16}, opts) {
 		fmt.Printf("  segments=%-3d queue=%-3d max pending/tick=%d refresh ops=%d\n",
 			p.Segments, p.QueueDepth, p.MaxPendingPerTick, p.RefreshOps)
 	}
 	fmt.Println()
 
 	fmt.Println("== RAS-only bus overhead ablation (benchmark: gcc) ==")
-	for _, p := range experiment.BusOverheadStudy(gcc, opts) {
+	for _, p := range experiment.BusOverheadStudy(eng, gcc, opts) {
 		fmt.Printf("  bus overhead=%-5v smart refresh energy=%.3f mJ saving=%.2f%%\n",
 			p.WithOverhead, p.RefreshEnergyMJ, p.RefreshEnergySavingPct)
 	}
 	fmt.Println()
 
 	fmt.Println("== Retention-aware extension (RAPID/VRA + Smart Refresh, benchmark: gcc) ==")
-	for _, p := range experiment.RetentionAwareStudy(gcc, opts) {
+	for _, p := range experiment.RetentionAwareStudy(eng, gcc, opts) {
 		fmt.Printf("  %-16s refresh ops=%-8d reduction=%6.2f%% refreshE=%8.3f mJ totalE=%8.3f mJ\n",
 			p.Policy, p.RefreshOps, p.RefreshReductionPct, p.RefreshEnergyMJ, p.TotalEnergyMJ)
 	}
 	fmt.Println()
 
 	fmt.Println("== Section 4.6: idle-OS self-disable ==")
-	d := experiment.DisableStudy(opts)
+	d := experiment.DisableStudy(eng, opts)
 	fmt.Printf("  disable circuitry engaged: %v\n", d.DisableSwitched)
 	fmt.Printf("  baseline total energy:       %10.3f mJ\n", d.Baseline.Energy.Total().Millijoules())
 	fmt.Printf("  smart (disable on) total:    %10.3f mJ (loss vs baseline: %.3f%%)\n",
@@ -144,14 +168,14 @@ func runAblations(opts experiment.RunOptions) error {
 	fmt.Println()
 
 	fmt.Println("== Idle power management comparison (extension) ==")
-	for _, p := range experiment.IdlePowerStudy(opts) {
+	for _, p := range experiment.IdlePowerStudy(eng, opts) {
 		fmt.Printf("  %-18s total=%10.3f mJ controller refreshes=%d\n",
 			p.Name, p.TotalEnergyMJ, p.RefreshOps)
 	}
 	fmt.Println()
 
 	fmt.Println("== eDRAM refresh-interval study (introduction: NEC 4ms, IBM 64us) ==")
-	for _, p := range experiment.EDRAMStudy() {
+	for _, p := range experiment.EDRAMStudy(eng) {
 		fmt.Printf("  interval=%-8v baseline=%12.0f refr/s  refresh share=%5.1f%%  reduction=%6.2f%%  total saving=%6.2f%%\n",
 			p.Interval, p.BaselineRefreshesPerSec, p.BaselineRefreshSharePct,
 			p.RefreshReductionPct, p.TotalSavingPct)

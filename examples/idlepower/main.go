@@ -20,17 +20,18 @@ func main() {
 		Warmup:  64 * smartrefresh.Millisecond,
 		Measure: 256 * smartrefresh.Millisecond,
 	}
+	eng := smartrefresh.NewEngine(0)
 
 	fmt.Println("near-idle workload (accesses < 1% of rows per 64 ms interval)")
 	fmt.Println("2 GB module, 256 ms measured window")
 	fmt.Println()
 	fmt.Printf("%-18s %14s %20s\n", "scheme", "total energy", "controller refreshes")
-	for _, p := range smartrefresh.IdlePowerStudy(opts) {
+	for _, p := range smartrefresh.IdlePowerStudy(eng, opts) {
 		fmt.Printf("%-18s %11.3f mJ %20d\n", p.Name, p.TotalEnergyMJ, p.RefreshOps)
 	}
 
 	fmt.Println()
-	d := smartrefresh.DisableStudy(opts)
+	d := smartrefresh.DisableStudy(eng, opts)
 	fmt.Printf("self-disable engaged: %v; energy loss vs baseline: %.3f%%\n",
 		d.DisableSwitched, d.EnergyLossPctWithDisable)
 	fmt.Println()

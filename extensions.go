@@ -98,6 +98,12 @@ func WritePairMetrics(w io.Writer, rows []PairMetrics, format ReportFormat) erro
 	return report.WritePairMetrics(w, rows, format)
 }
 
+// WriteEngineStats renders an engine's job counters (simulations run,
+// memoisation hits, summed simulation wall time).
+func WriteEngineStats(w io.Writer, st EngineStats, format ReportFormat) error {
+	return report.WriteEngineStats(w, st, format)
+}
+
 // Ablation studies (DESIGN.md section 5).
 
 type (
@@ -115,9 +121,11 @@ type (
 	DisableStudyResult = experiment.DisableStudyResult
 )
 
-// CounterWidthStudy sweeps the time-out counter width (section 4.4).
-func CounterWidthStudy(prof Profile, bits []int, opts RunOptions) []CounterWidthPoint {
-	return experiment.CounterWidthStudy(prof, bits, opts)
+// CounterWidthStudy sweeps the time-out counter width (section 4.4). A
+// nil engine runs the study on a private single-use engine; pass a shared
+// engine to pool workers and progress hooks across studies.
+func CounterWidthStudy(eng *Engine, prof Profile, bits []int, opts RunOptions) []CounterWidthPoint {
+	return experiment.CounterWidthStudy(eng, prof, bits, opts)
 }
 
 // StaggerStudy measures the figure 2 burst hazard with and without the
@@ -127,23 +135,23 @@ func StaggerStudy(kind ConfigKind) []StaggerPoint {
 }
 
 // SegmentsStudy sweeps the segment count / pending queue depth.
-func SegmentsStudy(prof Profile, segments []int, opts RunOptions) []SegmentsPoint {
-	return experiment.SegmentsStudy(prof, segments, opts)
+func SegmentsStudy(eng *Engine, prof Profile, segments []int, opts RunOptions) []SegmentsPoint {
+	return experiment.SegmentsStudy(eng, prof, segments, opts)
 }
 
 // BusOverheadStudy isolates the RAS-only refresh bus cost.
-func BusOverheadStudy(prof Profile, opts RunOptions) []BusOverheadPoint {
-	return experiment.BusOverheadStudy(prof, opts)
+func BusOverheadStudy(eng *Engine, prof Profile, opts RunOptions) []BusOverheadPoint {
+	return experiment.BusOverheadStudy(eng, prof, opts)
 }
 
 // RetentionAwareStudy compares CBR, Smart and retention-aware Smart.
-func RetentionAwareStudy(prof Profile, opts RunOptions) []RetentionAwarePoint {
-	return experiment.RetentionAwareStudy(prof, opts)
+func RetentionAwareStudy(eng *Engine, prof Profile, opts RunOptions) []RetentionAwarePoint {
+	return experiment.RetentionAwareStudy(eng, prof, opts)
 }
 
 // DisableStudy runs the section 4.6 idle-OS experiment.
-func DisableStudy(opts RunOptions) DisableStudyResult {
-	return experiment.DisableStudy(opts)
+func DisableStudy(eng *Engine, opts RunOptions) DisableStudyResult {
+	return experiment.DisableStudy(eng, opts)
 }
 
 // IdlePowerPoint is one row of the idle-power management comparison.
@@ -151,8 +159,8 @@ type IdlePowerPoint = experiment.IdlePowerPoint
 
 // IdlePowerStudy compares CBR, Smart-with-disable and module self-refresh
 // on the near-idle workload.
-func IdlePowerStudy(opts RunOptions) []IdlePowerPoint {
-	return experiment.IdlePowerStudy(opts)
+func IdlePowerStudy(eng *Engine, opts RunOptions) []IdlePowerPoint {
+	return experiment.IdlePowerStudy(eng, opts)
 }
 
 // EDRAMPoint is one row of the embedded-DRAM refresh-interval study.
@@ -162,4 +170,4 @@ type EDRAMPoint = experiment.EDRAMPoint
 // (64 ms commodity, 4 ms NEC eDRAM, 64 us IBM eDRAM) with one fixed
 // workload, showing where Smart Refresh's benefit holds and where no
 // realistic traffic can beat the retention deadline.
-func EDRAMStudy() []EDRAMPoint { return experiment.EDRAMStudy() }
+func EDRAMStudy(eng *Engine) []EDRAMPoint { return experiment.EDRAMStudy(eng) }

@@ -91,10 +91,10 @@ func TestAblationAPIs(t *testing.T) {
 	if pts := smartrefresh.StaggerStudy(smartrefresh.Conv2GB); len(pts) != 2 {
 		t.Errorf("stagger study points = %d", len(pts))
 	}
-	if pts := smartrefresh.BusOverheadStudy(prof, opts); len(pts) != 2 {
+	if pts := smartrefresh.BusOverheadStudy(nil, prof, opts); len(pts) != 2 {
 		t.Errorf("bus study points = %d", len(pts))
 	}
-	if pts := smartrefresh.RetentionAwareStudy(prof, opts); len(pts) != 3 {
+	if pts := smartrefresh.RetentionAwareStudy(nil, prof, opts); len(pts) != 3 {
 		t.Errorf("retention study points = %d", len(pts))
 	}
 }

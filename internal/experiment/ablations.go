@@ -8,6 +8,7 @@ import (
 	"smartrefresh/internal/dram"
 	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/trace"
 	"smartrefresh/internal/workload"
 )
 
@@ -27,17 +28,39 @@ type CounterWidthPoint struct {
 	AreaKB float64
 }
 
+// ensureEngine substitutes a default engine for a nil one, so callers
+// without an engine of their own still get pooled execution.
+func ensureEngine(eng *Engine) *Engine {
+	if eng == nil {
+		return NewEngine(0)
+	}
+	return eng
+}
+
 // CounterWidthStudy sweeps the time-out counter width (the paper uses 2
 // bits to explain and 3 to simulate; wider counters approach the oracle).
-func CounterWidthStudy(prof workload.Profile, bits []int, opts RunOptions) []CounterWidthPoint {
-	var out []CounterWidthPoint
+// The per-width pair runs execute on eng's worker pool (nil = default
+// engine).
+func CounterWidthStudy(eng *Engine, prof workload.Profile, bits []int, opts RunOptions) []CounterWidthPoint {
+	eng = ensureEngine(eng)
 	cfg := Conv2GB.DRAM()
+	jobs := make([]Job, 0, 2*len(bits))
 	for _, b := range bits {
 		c := cfg
 		c.Smart.CounterBits = b
 		c.Smart.SelfDisable = false
-		base := Run(c, prof, PolicyCBR, opts)
-		smart := Run(c, prof, PolicySmart, opts)
+		jobs = append(jobs,
+			Job{Cfg: c, Prof: prof, Policy: PolicyCBR, Opts: opts},
+			Job{Cfg: c, Prof: prof, Policy: PolicySmart, Opts: opts})
+	}
+	res := eng.RunJobs(jobs)
+
+	var out []CounterWidthPoint
+	for i, b := range bits {
+		base, smart := res[2*i], res[2*i+1]
+		c := cfg
+		c.Smart.CounterBits = b
+		c.Smart.SelfDisable = false
 		reduction := 0.0
 		if base.Results.Module.RefreshOps > 0 {
 			reduction = 100 * (1 - float64(smart.Results.Module.RefreshOps)/
@@ -169,21 +192,28 @@ type SegmentsPoint struct {
 }
 
 // SegmentsStudy sweeps the segment count / pending queue depth and
-// confirms the per-tick bound never exceeds the queue depth.
-func SegmentsStudy(prof workload.Profile, segments []int, opts RunOptions) []SegmentsPoint {
-	var out []SegmentsPoint
-	for _, n := range segments {
+// confirms the per-tick bound never exceeds the queue depth. The runs
+// execute on eng's worker pool (nil = default engine).
+func SegmentsStudy(eng *Engine, prof workload.Profile, segments []int, opts RunOptions) []SegmentsPoint {
+	eng = ensureEngine(eng)
+	jobs := make([]Job, len(segments))
+	for i, n := range segments {
 		cfg := Conv2GB.DRAM()
 		cfg.Smart.Segments = n
 		cfg.Smart.QueueDepth = n
 		cfg.Smart.SelfDisable = false
-		res := Run(cfg, prof, PolicySmart, opts)
-		out = append(out, SegmentsPoint{
+		jobs[i] = Job{Cfg: cfg, Prof: prof, Policy: PolicySmart, Opts: opts}
+	}
+	res := eng.RunJobs(jobs)
+
+	out := make([]SegmentsPoint, len(segments))
+	for i, n := range segments {
+		out[i] = SegmentsPoint{
 			Segments:          n,
 			QueueDepth:        n,
-			MaxPendingPerTick: res.Results.Policy.MaxPendingPerTick,
-			RefreshOps:        res.Results.Module.RefreshOps,
-		})
+			MaxPendingPerTick: res[i].Results.Policy.MaxPendingPerTick,
+			RefreshOps:        res[i].Results.Module.RefreshOps,
+		}
 	}
 	return out
 }
@@ -197,16 +227,26 @@ type BusOverheadPoint struct {
 }
 
 // BusOverheadStudy runs one benchmark with the Table 3 bus model on and
-// off to isolate the RAS-only address-bus cost.
-func BusOverheadStudy(prof workload.Profile, opts RunOptions) []BusOverheadPoint {
-	var out []BusOverheadPoint
-	for _, with := range []bool{true, false} {
+// off to isolate the RAS-only address-bus cost. The four runs execute on
+// eng's worker pool (nil = default engine).
+func BusOverheadStudy(eng *Engine, prof workload.Profile, opts RunOptions) []BusOverheadPoint {
+	eng = ensureEngine(eng)
+	variants := []bool{true, false}
+	jobs := make([]Job, 0, 2*len(variants))
+	for _, with := range variants {
 		cfg := Conv2GB.DRAM()
 		if !with {
 			cfg.Power.Bus.VDD = 0 // zero swing: no bus energy
 		}
-		base := Run(cfg, prof, PolicyCBR, opts)
-		smart := Run(cfg, prof, PolicySmart, opts)
+		jobs = append(jobs,
+			Job{Cfg: cfg, Prof: prof, Policy: PolicyCBR, Opts: opts},
+			Job{Cfg: cfg, Prof: prof, Policy: PolicySmart, Opts: opts})
+	}
+	res := eng.RunJobs(jobs)
+
+	var out []BusOverheadPoint
+	for i, with := range variants {
+		base, smart := res[2*i], res[2*i+1]
 		bre := base.Results.Energy.RefreshRelated()
 		sre := smart.Results.Energy.RefreshRelated()
 		saving := 0.0
@@ -235,20 +275,24 @@ type DisableStudyResult struct {
 	EnergyLossPctWithDisable float64
 }
 
-// DisableStudy runs the idle-OS workload of section 4.6.
-func DisableStudy(opts RunOptions) DisableStudyResult {
+// DisableStudy runs the idle-OS workload of section 4.6. Its three runs
+// execute on eng's worker pool (nil = default engine).
+func DisableStudy(eng *Engine, opts RunOptions) DisableStudyResult {
+	eng = ensureEngine(eng)
 	idle := workload.Idle()
 	cfg := Conv2GB.DRAM()
 
-	base := Run(cfg, idle, PolicyCBR, opts)
-
 	on := cfg
 	on.Smart.SelfDisable = true
-	withRes := Run(on, idle, PolicySmart, opts)
-
 	off := cfg
 	off.Smart.SelfDisable = false
-	withoutRes := Run(off, idle, PolicySmart, opts)
+
+	res := eng.RunJobs([]Job{
+		{Cfg: cfg, Prof: idle, Policy: PolicyCBR, Opts: opts},
+		{Cfg: on, Prof: idle, Policy: PolicySmart, Opts: opts},
+		{Cfg: off, Prof: idle, Policy: PolicySmart, Opts: opts},
+	})
+	base, withRes, withoutRes := res[0], res[1], res[2]
 
 	loss := 0.0
 	if bt := base.Results.Energy.Total(); bt > 0 {
@@ -281,51 +325,34 @@ type RetentionAwarePoint struct {
 
 // RetentionAwareStudy compares CBR, plain Smart Refresh and the combined
 // retention-aware Smart Refresh on one benchmark stream with the default
-// retention-class distribution.
-func RetentionAwareStudy(prof workload.Profile, opts RunOptions) []RetentionAwarePoint {
+// retention-class distribution. The three runs execute on eng's worker
+// pool (nil = default engine); the retention-aware policy is supplied
+// through Job.MakePolicy so each run constructs its own policy state.
+func RetentionAwareStudy(eng *Engine, prof workload.Profile, opts RunOptions) []RetentionAwarePoint {
+	eng = ensureEngine(eng)
 	cfg := Conv2GB.DRAM()
 	cfg.Smart.SelfDisable = false
 	rmap := core.NewRetentionMap(cfg.Geometry, core.DefaultRetentionClasses(), prof.Seed())
 
-	runWith := func(name string, p core.Policy) RetentionAwarePoint {
-		opts := opts.withDefaults(cfg.RefreshInterval())
-		ctl := memctrl.MustNew(cfg, p, memctrl.Options{})
-		gen := prof.NewSource(false)
-		end := opts.Warmup + opts.Measure
-		var warmM = ctl.Module().Stats()
-		var warmP = p.Stats()
-		warmed := false
-		for {
-			rec, ok := gen.Next()
-			if !ok || rec.Time >= end {
-				break
-			}
-			if !warmed && rec.Time >= opts.Warmup {
-				ctl.AdvanceTo(rec.Time)
-				ctl.Module().Finalize(rec.Time)
-				warmM, warmP = ctl.Module().Stats(), p.Stats()
-				warmed = true
-			}
-			ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
-		}
-		ctl.Finish(end)
-		ms := ctl.Module().Stats().Sub(warmM)
-		ps := p.Stats().Sub(warmP)
-		e := cfg.Power.Evaluate(ms, ps)
-		return RetentionAwarePoint{
-			Policy:          name,
-			RefreshOps:      ms.RefreshOps,
-			RefreshEnergyMJ: e.RefreshRelated().Millijoules(),
-			TotalEnergyMJ:   e.Total().Millijoules(),
+	names := []string{"cbr", "smart", "smart-retention"}
+	res := eng.RunJobs([]Job{
+		{Cfg: cfg, Prof: prof, Policy: PolicyCBR, Opts: opts},
+		{Cfg: cfg, Prof: prof, Policy: PolicySmart, Opts: opts},
+		{Cfg: cfg, Prof: prof, Policy: PolicySmart, Opts: opts, MakePolicy: func() core.Policy {
+			return core.NewRetentionAwareSmart(cfg.Geometry, cfg.RefreshInterval(), cfg.Smart, rmap)
+		}},
+	})
+
+	out := make([]RetentionAwarePoint, len(res))
+	for i, r := range res {
+		out[i] = RetentionAwarePoint{
+			Policy:          names[i],
+			RefreshOps:      r.Results.Module.RefreshOps,
+			RefreshEnergyMJ: r.Results.Energy.RefreshRelated().Millijoules(),
+			TotalEnergyMJ:   r.Results.Energy.Total().Millijoules(),
 		}
 	}
-
-	base := runWith("cbr", core.NewCBR(cfg.Geometry, cfg.RefreshInterval()))
-	smart := runWith("smart", core.NewSmart(cfg.Geometry, cfg.RefreshInterval(), cfg.Smart))
-	aware := runWith("smart-retention",
-		core.NewRetentionAwareSmart(cfg.Geometry, cfg.RefreshInterval(), cfg.Smart, rmap))
-
-	out := []RetentionAwarePoint{base, smart, aware}
+	base := out[0]
 	for i := range out {
 		if base.RefreshOps > 0 {
 			out[i].RefreshReductionPct = 100 * (1 - float64(out[i].RefreshOps)/float64(base.RefreshOps))
@@ -352,11 +379,15 @@ type EDRAMPoint struct {
 // Refresh only helps while demand re-touches rows *within* the retention
 // interval. One fixed workload (half the rows re-swept every 3 ms) runs
 // against all three intervals: it saves at 64 ms and 4 ms, and cannot
-// save at 64 us, where no realistic traffic beats the deadline.
-func EDRAMStudy() []EDRAMPoint {
+// save at 64 us, where no realistic traffic beats the deadline. The six
+// runs execute on eng's worker pool (nil = default engine), each building
+// its own generator through Job.MakeSource.
+func EDRAMStudy(eng *Engine) []EDRAMPoint {
+	eng = ensureEngine(eng)
 	intervals := []sim.Duration{64 * sim.Millisecond, 4 * sim.Millisecond, 64 * sim.Microsecond}
-	var out []EDRAMPoint
-	for _, interval := range intervals {
+	var jobs []Job
+	measures := make([]sim.Duration, len(intervals))
+	for i, interval := range intervals {
 		cfg := config.EDRAM(interval)
 		cfg.Smart.SelfDisable = false
 
@@ -368,44 +399,27 @@ func EDRAMStudy() []EDRAMPoint {
 			WriteFraction:  0.3,
 			JitterFraction: 0.1,
 		}
+		source := func() trace.Source { return workload.NewGenerator(spec, 99) }
 
 		// Window: enough intervals for steady state and enough sweeps for
 		// the workload to matter.
-		warmup := sim.Max(interval, 3*sim.Millisecond)
-		measure := sim.Max(4*interval, 12*sim.Millisecond)
-
-		run := func(p core.Policy) memctrl.Results {
-			ctl := memctrl.MustNew(cfg, p, memctrl.Options{})
-			gen := workload.NewGenerator(spec, 99)
-			end := warmup + measure
-			warmM, warmP := ctl.Module().Stats(), p.Stats()
-			warmed := false
-			for {
-				rec, ok := gen.Next()
-				if !ok || rec.Time >= end {
-					break
-				}
-				if !warmed && rec.Time >= warmup {
-					ctl.AdvanceTo(rec.Time)
-					ctl.Module().Finalize(rec.Time)
-					warmM, warmP = ctl.Module().Stats(), p.Stats()
-					warmed = true
-				}
-				ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
-			}
-			ctl.Finish(end)
-			res := ctl.Results(end)
-			res.Module = res.Module.Sub(warmM)
-			res.Policy = res.Policy.Sub(warmP)
-			res.Energy = cfg.Power.Evaluate(res.Module, res.Policy)
-			return res
+		opts := RunOptions{
+			Warmup:  sim.Max(interval, 3*sim.Millisecond),
+			Measure: sim.Max(4*interval, 12*sim.Millisecond),
 		}
+		measures[i] = opts.Measure
+		prof := workload.Profile{Name: cfg.Name, Suite: "synthetic"}
+		jobs = append(jobs,
+			Job{Cfg: cfg, Prof: prof, Policy: PolicyCBR, Opts: opts, MakeSource: source},
+			Job{Cfg: cfg, Prof: prof, Policy: PolicySmart, Opts: opts, MakeSource: source})
+	}
+	res := eng.RunJobs(jobs)
 
-		base := run(core.NewCBR(cfg.Geometry, interval))
-		smart := run(core.NewSmart(cfg.Geometry, interval, cfg.Smart))
-
+	var out []EDRAMPoint
+	for i, interval := range intervals {
+		base, smart := res[2*i].Results, res[2*i+1].Results
 		pt := EDRAMPoint{Interval: interval}
-		pt.BaselineRefreshesPerSec = float64(base.Module.RefreshOps) / measure.Seconds()
+		pt.BaselineRefreshesPerSec = float64(base.Module.RefreshOps) / measures[i].Seconds()
 		if base.Module.RefreshOps > 0 {
 			pt.RefreshReductionPct = 100 * (1 - float64(smart.Module.RefreshOps)/float64(base.Module.RefreshOps))
 		}
@@ -429,29 +443,33 @@ type IdlePowerPoint struct {
 // workload: the CBR baseline, Smart Refresh with the section 4.6
 // self-disable, and CBR with module self-refresh — the deepest sleep a
 // DRAM offers, which trades wake-up latency (tXSNR) for IDD6 standby.
-func IdlePowerStudy(opts RunOptions) []IdlePowerPoint {
+// The three runs execute on eng's worker pool (nil = default engine).
+func IdlePowerStudy(eng *Engine, opts RunOptions) []IdlePowerPoint {
+	eng = ensureEngine(eng)
 	idle := workload.Idle()
 	cfg := Conv2GB.DRAM()
-
-	point := func(name string, kind PolicyKind, o RunOptions) IdlePowerPoint {
-		res := Run(cfg, idle, kind, o)
-		return IdlePowerPoint{
-			Name:          name,
-			TotalEnergyMJ: res.Results.Energy.Total().Millijoules(),
-			RefreshOps:    res.Results.Module.RefreshOps,
-		}
-	}
 
 	plain := opts
 	plain.SelfRefreshAfter = 0
 	withSR := opts
 	withSR.SelfRefreshAfter = 100 * sim.Microsecond
 
-	return []IdlePowerPoint{
-		point("cbr", PolicyCBR, plain),
-		point("smart+disable", PolicySmart, plain),
-		point("cbr+selfrefresh", PolicyCBR, withSR),
+	names := []string{"cbr", "smart+disable", "cbr+selfrefresh"}
+	res := eng.RunJobs([]Job{
+		{Cfg: cfg, Prof: idle, Policy: PolicyCBR, Opts: plain},
+		{Cfg: cfg, Prof: idle, Policy: PolicySmart, Opts: plain},
+		{Cfg: cfg, Prof: idle, Policy: PolicyCBR, Opts: withSR},
+	})
+
+	out := make([]IdlePowerPoint, len(res))
+	for i, r := range res {
+		out[i] = IdlePowerPoint{
+			Name:          names[i],
+			TotalEnergyMJ: r.Results.Energy.Total().Millijoules(),
+			RefreshOps:    r.Results.Module.RefreshOps,
+		}
 	}
+	return out
 }
 
 // ThresholdPoint is one row of the self-disable threshold sweep.
@@ -469,26 +487,33 @@ type ThresholdPoint struct {
 
 // DisableThresholdStudy sweeps the section 4.6 thresholds against a
 // workload of the given row-coverage density, showing where the policy
-// decides Smart Refresh is not worth its counter energy.
-func DisableThresholdStudy(coverage float64, thresholds [][2]float64, opts RunOptions) []ThresholdPoint {
+// decides Smart Refresh is not worth its counter energy. The per-
+// threshold runs execute on eng's worker pool (nil = default engine).
+func DisableThresholdStudy(eng *Engine, coverage float64, thresholds [][2]float64, opts RunOptions) []ThresholdPoint {
+	eng = ensureEngine(eng)
 	prof := workload.Idle()
 	prof.Name = "threshold-probe"
 	prof.MainCoverage = coverage
-	var out []ThresholdPoint
-	for _, th := range thresholds {
+	jobs := make([]Job, len(thresholds))
+	for i, th := range thresholds {
 		cfg := Conv2GB.DRAM()
 		cfg.Smart.SelfDisable = true
 		cfg.Smart.DisableBelow = th[0]
 		cfg.Smart.EnableAbove = th[1]
-		res := Run(cfg, prof, PolicySmart, opts)
-		out = append(out, ThresholdPoint{
+		jobs[i] = Job{Cfg: cfg, Prof: prof, Policy: PolicySmart, Opts: opts}
+	}
+	res := eng.RunJobs(jobs)
+
+	out := make([]ThresholdPoint, len(thresholds))
+	for i, th := range thresholds {
+		out[i] = ThresholdPoint{
 			DisableBelow: th[0],
 			EnableAbove:  th[1],
-			Disabled: res.Results.Policy.TimeDisabled > 0 ||
-				res.Results.Module.RefreshCBROps > 0,
-			RefreshOps:    res.Results.Module.RefreshOps,
-			TotalEnergyMJ: res.Results.Energy.Total().Millijoules(),
-		})
+			Disabled: res[i].Results.Policy.TimeDisabled > 0 ||
+				res[i].Results.Module.RefreshCBROps > 0,
+			RefreshOps:    res[i].Results.Module.RefreshOps,
+			TotalEnergyMJ: res[i].Results.Energy.Total().Millijoules(),
+		}
 	}
 	return out
 }

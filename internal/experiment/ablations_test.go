@@ -10,7 +10,7 @@ import (
 
 func TestCounterWidthStudy(t *testing.T) {
 	prof, _ := workload.ByName("gcc")
-	pts := CounterWidthStudy(prof, []int{2, 3, 4}, fastOpts(false))
+	pts := CounterWidthStudy(nil, prof, []int{2, 3, 4}, fastOpts(false))
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -71,7 +71,7 @@ func TestStaggerStudy(t *testing.T) {
 
 func TestSegmentsStudy(t *testing.T) {
 	prof, _ := workload.ByName("fasta")
-	pts := SegmentsStudy(prof, []int{4, 8, 16}, fastOpts(false))
+	pts := SegmentsStudy(nil, prof, []int{4, 8, 16}, fastOpts(false))
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -96,7 +96,7 @@ func TestSegmentsStudy(t *testing.T) {
 
 func TestBusOverheadStudy(t *testing.T) {
 	prof, _ := workload.ByName("gcc")
-	pts := BusOverheadStudy(prof, fastOpts(false))
+	pts := BusOverheadStudy(nil, prof, fastOpts(false))
 	var with, without BusOverheadPoint
 	for _, p := range pts {
 		if p.WithOverhead {
@@ -120,7 +120,7 @@ func TestBusOverheadStudy(t *testing.T) {
 }
 
 func TestEDRAMStudy(t *testing.T) {
-	pts := EDRAMStudy()
+	pts := EDRAMStudy(nil)
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -157,7 +157,7 @@ func TestEDRAMStudy(t *testing.T) {
 
 func TestIdlePowerStudy(t *testing.T) {
 	opts := RunOptions{Warmup: 64 * sim.Millisecond, Measure: 192 * sim.Millisecond}
-	pts := IdlePowerStudy(opts)
+	pts := IdlePowerStudy(nil, opts)
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -186,7 +186,7 @@ func TestDisableThresholdStudy(t *testing.T) {
 	opts := RunOptions{Warmup: 64 * sim.Millisecond, Measure: 192 * sim.Millisecond}
 	// Probe density ~0.5% of rows per interval: disables at the paper's
 	// 1% threshold, stays enabled with a very low threshold.
-	pts := DisableThresholdStudy(0.002, [][2]float64{
+	pts := DisableThresholdStudy(nil, 0.002, [][2]float64{
 		{0.01, 0.02},     // paper thresholds
 		{0.0001, 0.0002}, // nearly-never-disable
 	}, opts)
@@ -207,7 +207,7 @@ func TestDisableThresholdStudy(t *testing.T) {
 
 func TestRetentionAwareStudy(t *testing.T) {
 	prof, _ := workload.ByName("gcc")
-	pts := RetentionAwareStudy(prof, fastOpts(false))
+	pts := RetentionAwareStudy(nil, prof, fastOpts(false))
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -237,7 +237,7 @@ func TestRetentionAwareStudy(t *testing.T) {
 
 func TestDisableStudy(t *testing.T) {
 	opts := RunOptions{Warmup: 64 * sim.Millisecond, Measure: 256 * sim.Millisecond}
-	res := DisableStudy(opts)
+	res := DisableStudy(nil, opts)
 	if !res.DisableSwitched {
 		t.Error("idle workload did not trip the self-disable")
 	}

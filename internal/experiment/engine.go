@@ -1,0 +1,290 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/trace"
+	"smartrefresh/internal/workload"
+)
+
+// RunSpec identifies one simulation run by value: one of the four
+// evaluated configurations, one paper benchmark by name, one policy, and
+// the run options. Specs normalise to a canonical form (window defaults
+// applied, the stacked flag derived from the configuration), so two specs
+// describing the same work compare equal — which is what makes a RunSpec
+// the Engine's memoisation key.
+type RunSpec struct {
+	Config    ConfigKind
+	Benchmark string
+	Policy    PolicyKind
+	Opts      RunOptions
+}
+
+// normalize returns the canonical form of the spec: run-option defaults
+// resolved against the configuration's refresh interval and the stacked
+// flag forced to the configuration's front-end.
+func (s RunSpec) normalize() RunSpec {
+	s.Opts = s.Opts.withDefaults(s.Config.DRAM().RefreshInterval())
+	s.Opts.Stacked = s.Config.Stacked()
+	return s
+}
+
+// Key renders the canonical cache key. Two specs with equal keys receive
+// the same memoised result.
+func (s RunSpec) Key() string {
+	n := s.normalize()
+	return fmt.Sprintf("%s/%s/%s/w%d/m%d/ret%v/sr%d",
+		n.Config, n.Benchmark, n.Policy,
+		int64(n.Opts.Warmup), int64(n.Opts.Measure),
+		n.Opts.CheckRetention, int64(n.Opts.SelfRefreshAfter))
+}
+
+// profile resolves the spec's benchmark name.
+func (s RunSpec) profile() (workload.Profile, error) {
+	return workload.ByName(s.Benchmark)
+}
+
+// Job is one fully-specified simulation for Engine.RunJobs. Unlike a
+// RunSpec it carries an arbitrary configuration (the ablation studies
+// sweep non-preset configs) and optional policy/source constructors, so
+// it is executed without memoisation. The constructors run inside the
+// job, giving each run its own policy and generator state.
+type Job struct {
+	Cfg    config.DRAM
+	Prof   workload.Profile
+	Policy PolicyKind
+	Opts   RunOptions
+	// MakePolicy, when non-nil, overrides the Policy kind's constructor
+	// (e.g. the retention-aware study's non-standard policy); Policy is
+	// then only a label.
+	MakePolicy func() core.Policy
+	// MakeSource, when non-nil, overrides the profile's access stream.
+	MakeSource func() trace.Source
+}
+
+// JobEvent describes one engine job to the instrumentation hooks.
+type JobEvent struct {
+	Config    string
+	Benchmark string
+	Policy    PolicyKind
+	// Cached marks a memoised result returned without simulating.
+	Cached bool
+	// Wall is the job's simulation wall time (zero on start events and
+	// cache hits).
+	Wall time.Duration
+}
+
+// EngineStats counts the engine's work since construction.
+type EngineStats struct {
+	// Started is the number of jobs handed to a worker.
+	Started int
+	// Finished is the number of jobs that completed a simulation.
+	Finished int
+	// CacheHits is the number of memoised results served without
+	// simulating.
+	CacheHits int
+	// SimWall is the summed per-job simulation wall time (across all
+	// workers, so it exceeds elapsed time when running in parallel).
+	SimWall time.Duration
+}
+
+// Engine executes simulation jobs across a bounded worker pool and
+// memoises RunSpec results, so sweeps that share runs (Figures 6/7/8 and
+// friends) simulate each (config, benchmark, policy) combination exactly
+// once. Results are deterministic and independent of the worker count:
+// every job builds its own controller, module, policy and generator, and
+// batch results are ordered by job index, never by completion order.
+//
+// An Engine is safe for concurrent use once running; configure Workers
+// and the hooks before submitting the first job.
+type Engine struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnJobStart and OnJobDone, when non-nil, observe jobs as they begin
+	// and finish (including cache hits). The engine serialises hook
+	// invocations, so the callbacks need not be goroutine-safe.
+	OnJobStart func(JobEvent)
+	OnJobDone  func(JobEvent)
+
+	mu    sync.Mutex
+	memo  map[RunSpec]*memoEntry
+	stats EngineStats
+
+	hookMu sync.Mutex
+}
+
+// memoEntry is a singleflight slot: the first claimant simulates and
+// closes done; later claimants wait on done and read res.
+type memoEntry struct {
+	done chan struct{}
+	res  RunResult
+}
+
+// NewEngine returns an engine with the given worker bound (<= 0 means
+// one worker per CPU).
+func NewEngine(workers int) *Engine { return &Engine{Workers: workers} }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run returns the result for one spec, simulating it at most once per
+// engine lifetime. Concurrent calls with equal (canonicalised) specs
+// share a single simulation; the duplicates count as cache hits.
+func (e *Engine) Run(spec RunSpec) (RunResult, error) {
+	spec = spec.normalize()
+	prof, err := spec.profile()
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	e.mu.Lock()
+	if ent, ok := e.memo[spec]; ok {
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		<-ent.done
+		e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, true, 0)
+		return ent.res, nil
+	}
+	if e.memo == nil {
+		e.memo = map[RunSpec]*memoEntry{}
+	}
+	ent := &memoEntry{done: make(chan struct{})}
+	e.memo[spec] = ent
+	e.stats.Started++
+	e.mu.Unlock()
+
+	e.emit(e.OnJobStart, spec.Config.String(), spec.Benchmark, spec.Policy, false, 0)
+	start := time.Now()
+	ent.res = Run(spec.Config.DRAM(), prof, spec.Policy, spec.Opts)
+	wall := time.Since(start)
+	close(ent.done)
+
+	e.finish(wall)
+	e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, false, wall)
+	return ent.res, nil
+}
+
+// RunAll executes the specs across the worker pool and returns their
+// results in spec order: result i belongs to specs[i] for any worker
+// count. Duplicate and previously-run specs are served from the memo.
+func (e *Engine) RunAll(specs []RunSpec) ([]RunResult, error) {
+	out := make([]RunResult, len(specs))
+	errs := make([]error, len(specs))
+	e.forEach(len(specs), func(i int) {
+		out[i], errs[i] = e.Run(specs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunJobs executes fully-specified jobs across the worker pool without
+// memoisation (their configurations need not be presets), returning
+// results in job order.
+func (e *Engine) RunJobs(jobs []Job) []RunResult {
+	out := make([]RunResult, len(jobs))
+	e.forEach(len(jobs), func(i int) {
+		out[i] = e.runJob(jobs[i])
+	})
+	return out
+}
+
+func (e *Engine) runJob(job Job) RunResult {
+	opts := job.Opts.withDefaults(job.Cfg.RefreshInterval())
+	policy := job.MakePolicy
+	if policy == nil {
+		policy = func() core.Policy { return NewPolicy(job.Cfg, job.Policy) }
+	}
+	source := job.MakeSource
+	if source == nil {
+		source = func() trace.Source { return job.Prof.NewSource(opts.Stacked) }
+	}
+
+	e.mu.Lock()
+	e.stats.Started++
+	e.mu.Unlock()
+	e.emit(e.OnJobStart, job.Cfg.Name, job.Prof.Name, job.Policy, false, 0)
+
+	start := time.Now()
+	res := execute(runJob{
+		cfg:       job.Cfg,
+		benchmark: job.Prof.Name,
+		kind:      job.Policy,
+		policy:    policy(),
+		source:    source(),
+		opts:      opts,
+	})
+	wall := time.Since(start)
+
+	e.finish(wall)
+	e.emit(e.OnJobDone, job.Cfg.Name, job.Prof.Name, job.Policy, false, wall)
+	return res
+}
+
+func (e *Engine) finish(wall time.Duration) {
+	e.mu.Lock()
+	e.stats.Finished++
+	e.stats.SimWall += wall
+	e.mu.Unlock()
+}
+
+func (e *Engine) emit(hook func(JobEvent), cfg, benchmark string, kind PolicyKind, cached bool, wall time.Duration) {
+	if hook == nil {
+		return
+	}
+	e.hookMu.Lock()
+	defer e.hookMu.Unlock()
+	hook(JobEvent{Config: cfg, Benchmark: benchmark, Policy: kind, Cached: cached, Wall: wall})
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1) across the worker pool. Workers claim indices
+// from a shared counter; each index is processed exactly once.
+func (e *Engine) forEach(n int, fn func(int)) {
+	w := e.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

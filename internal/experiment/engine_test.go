@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/workload"
+)
+
+// engineSubset crosses the four benchmark suites while keeping engine
+// tests fast.
+var engineSubset = []string{"fasta", "gcc", "radix", "perl_twolf"}
+
+func engineOpts() RunOptions {
+	return RunOptions{Warmup: 16 * sim.Millisecond, Measure: 32 * sim.Millisecond}
+}
+
+func sweepWith(t *testing.T, workers int) []PairMetrics {
+	t.Helper()
+	s := NewSuite()
+	s.Benchmarks = engineSubset
+	s.Opts = engineOpts()
+	s.Engine = NewEngine(workers)
+	return s.Sweep(Conv2GB)
+}
+
+// The tentpole's core promise: sweep output is identical for any worker
+// count, and identical to running the pairs serially without an engine.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	// The sweep reports benchmarks in the paper's figure order; build the
+	// serial expectation in the same order.
+	profs := (&Suite{Benchmarks: engineSubset}).profiles()
+	if len(profs) != len(engineSubset) {
+		t.Fatalf("resolved %d of %d profiles", len(profs), len(engineSubset))
+	}
+	serial := make([]PairMetrics, 0, len(profs))
+	cfg := Conv2GB.DRAM()
+	for _, prof := range profs {
+		serial = append(serial, RunPair(cfg, prof, engineOpts()))
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		got := sweepWith(t, workers)
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: sweep differs from serial RunPair output\n got: %+v\nwant: %+v",
+				workers, got, serial)
+		}
+	}
+}
+
+// One engine used from many goroutines: every caller sees the same
+// results, and each unique spec simulates exactly once.
+func TestEngineConcurrentUse(t *testing.T) {
+	eng := NewEngine(4)
+	specs := []RunSpec{
+		{Config: Conv2GB, Benchmark: "fasta", Policy: PolicyCBR, Opts: engineOpts()},
+		{Config: Conv2GB, Benchmark: "fasta", Policy: PolicySmart, Opts: engineOpts()},
+		{Config: Conv2GB, Benchmark: "gcc", Policy: PolicyCBR, Opts: engineOpts()},
+		{Config: Conv2GB, Benchmark: "gcc", Policy: PolicySmart, Opts: engineOpts()},
+	}
+
+	const callers = 8
+	results := make([][]RunResult, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := eng.RunAll(specs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[c] = res
+		}()
+	}
+	wg.Wait()
+
+	for c := 1; c < callers; c++ {
+		if !reflect.DeepEqual(results[c], results[0]) {
+			t.Errorf("caller %d saw different results", c)
+		}
+	}
+	st := eng.Stats()
+	if st.Started != len(specs) || st.Finished != len(specs) {
+		t.Errorf("started=%d finished=%d, want %d simulations", st.Started, st.Finished, len(specs))
+	}
+	if want := (callers - 1) * len(specs); st.CacheHits != want {
+		t.Errorf("cache hits = %d, want %d", st.CacheHits, want)
+	}
+	if st.SimWall <= 0 {
+		t.Errorf("sim wall time = %v, want > 0", st.SimWall)
+	}
+}
+
+// Specs describing the same work memoise to the same entry: zero options
+// resolve to the configuration's defaults, and the stacked flag is forced
+// by the configuration kind.
+func TestRunSpecKeyCanonical(t *testing.T) {
+	cfg := Conv2GB.DRAM()
+	zero := RunSpec{Config: Conv2GB, Benchmark: "gcc", Policy: PolicySmart}
+	explicit := RunSpec{Config: Conv2GB, Benchmark: "gcc", Policy: PolicySmart,
+		Opts: RunOptions{Warmup: cfg.RefreshInterval(), Measure: 4 * cfg.RefreshInterval()}}
+	if zero.Key() != explicit.Key() {
+		t.Errorf("default options changed the key:\n %s\n %s", zero.Key(), explicit.Key())
+	}
+
+	plain := RunSpec{Config: Stacked3D64, Benchmark: "gcc", Policy: PolicyCBR, Opts: engineOpts()}
+	stacked := plain
+	stacked.Opts.Stacked = true
+	if plain.Key() != stacked.Key() {
+		t.Errorf("stacked flag not derived from the configuration:\n %s\n %s", plain.Key(), stacked.Key())
+	}
+	if other := (RunSpec{Config: Conv2GB, Benchmark: "gcc", Policy: PolicyCBR, Opts: engineOpts()}); other.Key() == plain.Key() {
+		t.Errorf("distinct configs share key %s", other.Key())
+	}
+}
+
+func TestEngineRunUnknownBenchmark(t *testing.T) {
+	eng := NewEngine(1)
+	if _, err := eng.Run(RunSpec{Config: Conv2GB, Benchmark: "no-such-benchmark", Policy: PolicyCBR}); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+	if _, err := eng.RunAll([]RunSpec{{Config: Conv2GB, Benchmark: "no-such-benchmark", Policy: PolicyCBR}}); err == nil {
+		t.Fatal("RunAll with unknown benchmark did not error")
+	}
+}
+
+// Figures sharing a configuration reuse one sweep's runs: the second and
+// third figures of a group cost only memo hits, no new simulations.
+func TestSuiteFiguresShareSweepRuns(t *testing.T) {
+	s := NewSuite()
+	s.Benchmarks = []string{"gcc"}
+	s.Opts = engineOpts()
+	s.Engine = NewEngine(2)
+
+	if _, err := s.FigureByID("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Engine.Stats()
+	if st.Finished != 2 || st.CacheHits != 0 {
+		t.Fatalf("after fig6: finished=%d hits=%d, want 2 simulations and no hits", st.Finished, st.CacheHits)
+	}
+
+	for _, id := range []string{"fig7", "fig8"} {
+		if _, err := s.FigureByID(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = s.Engine.Stats()
+	if st.Finished != 2 {
+		t.Errorf("fig7/fig8 re-simulated: finished=%d, want still 2", st.Finished)
+	}
+	if st.CacheHits != 4 {
+		t.Errorf("cache hits = %d, want 4 (2 runs x 2 reused figures)", st.CacheHits)
+	}
+}
+
+// RunJobs preserves job order for any worker count and matches the
+// memoised path's results for identical work.
+func TestEngineRunJobsOrderAndEquivalence(t *testing.T) {
+	cfg := Conv2GB.DRAM()
+	opts := engineOpts()
+	jobs := make([]Job, 0, 2*len(engineSubset))
+	for _, name := range engineSubset {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs,
+			Job{Cfg: cfg, Prof: prof, Policy: PolicyCBR, Opts: opts},
+			Job{Cfg: cfg, Prof: prof, Policy: PolicySmart, Opts: opts})
+	}
+
+	parallelRes := NewEngine(8).RunJobs(jobs)
+	serialRes := NewEngine(1).RunJobs(jobs)
+	if !reflect.DeepEqual(parallelRes, serialRes) {
+		t.Error("RunJobs results depend on worker count")
+	}
+	for i, job := range jobs {
+		if parallelRes[i].Benchmark != job.Prof.Name || parallelRes[i].Policy != job.Policy {
+			t.Errorf("result %d out of order: got %s/%s, want %s/%s", i,
+				parallelRes[i].Benchmark, parallelRes[i].Policy, job.Prof.Name, job.Policy)
+		}
+		direct := Run(cfg, job.Prof, job.Policy, opts)
+		if !reflect.DeepEqual(parallelRes[i], direct) {
+			t.Errorf("result %d differs from direct Run", i)
+		}
+	}
+}
+
+// The instrumentation hooks see every job exactly once, with cache hits
+// marked, and need no locking of their own.
+func TestEngineHooks(t *testing.T) {
+	eng := NewEngine(4)
+	var started, done, cached int
+	eng.OnJobStart = func(ev JobEvent) { started++ }
+	eng.OnJobDone = func(ev JobEvent) {
+		done++
+		if ev.Cached {
+			cached++
+			if ev.Wall != 0 {
+				t.Errorf("cached job reported wall time %v", ev.Wall)
+			}
+		} else if ev.Wall <= 0 {
+			t.Errorf("simulated job reported no wall time")
+		}
+	}
+
+	specs := []RunSpec{
+		{Config: Conv2GB, Benchmark: "gcc", Policy: PolicyCBR, Opts: engineOpts()},
+		{Config: Conv2GB, Benchmark: "gcc", Policy: PolicySmart, Opts: engineOpts()},
+		{Config: Conv2GB, Benchmark: "gcc", Policy: PolicyCBR, Opts: engineOpts()},
+	}
+	if _, err := eng.RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	if started != 2 {
+		t.Errorf("start events = %d, want 2 (third spec is a duplicate)", started)
+	}
+	if done != 3 || cached != 1 {
+		t.Errorf("done events = %d (cached %d), want 3 with 1 cached", done, cached)
+	}
+}

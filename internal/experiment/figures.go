@@ -84,22 +84,35 @@ func (c ConfigKind) DRAM() config.DRAM {
 // front-end.
 func (c ConfigKind) Stacked() bool { return c == Stacked3D64 || c == Stacked3D32 }
 
-// Suite runs benchmark sweeps and derives every figure, memoising the
-// per-configuration pair runs (Figures 6-8 share the 2 GB sweep, 9-11 the
+// Suite runs benchmark sweeps and derives every figure. All simulation
+// goes through its Engine, whose memoisation makes figures that share a
+// sweep reuse one set of runs (Figures 6-8 share the 2 GB sweep, 9-11 the
 // 4 GB sweep, 12-14 the 3D/64 ms sweep, 15-18 the 3D/32 ms sweep).
 type Suite struct {
 	// Benchmarks restricts the sweep (nil = all 32 paper benchmarks).
 	Benchmarks []string
 	// Opts tunes run windows (zero values = defaults).
 	Opts RunOptions
-	// Progress, when non-nil, receives one line per completed pair run.
+	// Progress, when non-nil, receives one line per pair the first time a
+	// configuration's sweep completes.
 	Progress func(string)
+	// Engine executes and memoises the sweep's runs. Leave nil for a
+	// default engine (one worker per CPU); set it to share runs and
+	// instrumentation with other consumers or to bound the worker count.
+	Engine *Engine
 
-	sweeps map[ConfigKind][]PairMetrics
+	progressed map[ConfigKind]bool
 }
 
 // NewSuite builds an empty suite with default options.
 func NewSuite() *Suite { return &Suite{} }
+
+func (s *Suite) engine() *Engine {
+	if s.Engine == nil {
+		s.Engine = NewEngine(0)
+	}
+	return s.Engine
+}
 
 func (s *Suite) profiles() []workload.Profile {
 	all := workload.Profiles()
@@ -119,29 +132,46 @@ func (s *Suite) profiles() []workload.Profile {
 	return out
 }
 
-// Sweep returns (running if needed) the pair metrics for a configuration,
-// in the paper's benchmark order.
+// Sweep returns the pair metrics for a configuration, in the paper's
+// benchmark order. The runs execute on the suite's engine, which
+// parallelises them across its worker pool and memoises each (config,
+// benchmark, policy) result, so repeated sweeps — every figure sharing a
+// configuration — cost no further simulation.
 func (s *Suite) Sweep(kind ConfigKind) []PairMetrics {
-	if s.sweeps == nil {
-		s.sweeps = map[ConfigKind][]PairMetrics{}
-	}
-	if got, ok := s.sweeps[kind]; ok {
-		return got
-	}
-	cfg := kind.DRAM()
-	opts := s.Opts
-	opts.Stacked = kind.Stacked()
-	var out []PairMetrics
-	for _, prof := range s.profiles() {
-		pm := RunPair(cfg, prof, opts)
-		out = append(out, pm)
-		if s.Progress != nil {
-			s.Progress(fmt.Sprintf("%s %s: -%.1f%% refreshes, -%.1f%% refresh energy, -%.1f%% total",
-				kind, prof.Name, pm.RefreshReductionPct, pm.RefreshEnergySavingPct, pm.TotalEnergySavingPct))
+	profs := s.profiles()
+	specs := make([]RunSpec, 0, 2*len(profs))
+	for _, prof := range profs {
+		for _, pol := range []PolicyKind{PolicyCBR, PolicySmart} {
+			specs = append(specs, RunSpec{Config: kind, Benchmark: prof.Name, Policy: pol, Opts: s.Opts})
 		}
 	}
-	s.sweeps[kind] = out
+	results, err := s.engine().RunAll(specs)
+	if err != nil {
+		// Unreachable: profiles() only yields resolvable benchmark names.
+		panic(fmt.Sprintf("experiment: sweep %v: %v", kind, err))
+	}
+	out := make([]PairMetrics, len(profs))
+	for i := range profs {
+		out[i] = PairFrom(results[2*i], results[2*i+1])
+	}
+	s.emitProgress(kind, out)
 	return out
+}
+
+// emitProgress reports each pair once per configuration, however many
+// times figures re-derive the same sweep from the memoised runs.
+func (s *Suite) emitProgress(kind ConfigKind, pairs []PairMetrics) {
+	if s.Progress == nil || s.progressed[kind] {
+		return
+	}
+	if s.progressed == nil {
+		s.progressed = map[ConfigKind]bool{}
+	}
+	s.progressed[kind] = true
+	for _, pm := range pairs {
+		s.Progress(fmt.Sprintf("%s %s: -%.1f%% refreshes, -%.1f%% refresh energy, -%.1f%% total",
+			kind, pm.Benchmark, pm.RefreshReductionPct, pm.RefreshEnergySavingPct, pm.TotalEnergySavingPct))
+	}
 }
 
 func (s *Suite) series(kind ConfigKind, id string, pick func(PairMetrics) float64) *stats.Series {

@@ -12,6 +12,7 @@ import (
 	"smartrefresh/internal/core"
 	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/trace"
 	"smartrefresh/internal/workload"
 )
 
@@ -117,13 +118,38 @@ func (r RunResult) RefreshesPerSecond() float64 {
 // policy and returns the post-warmup measured window.
 func Run(cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOptions) RunResult {
 	opts = opts.withDefaults(cfg.RefreshInterval())
-	policy := NewPolicy(cfg, kind)
-	ctl := memctrl.MustNew(cfg, policy, memctrl.Options{
+	return execute(runJob{
+		cfg:       cfg,
+		benchmark: prof.Name,
+		kind:      kind,
+		policy:    NewPolicy(cfg, kind),
+		source:    prof.NewSource(opts.Stacked),
+		opts:      opts,
+	})
+}
+
+// runJob is one fully-resolved simulation: a configuration, a policy
+// instance, an access stream and the measurement window. Every field is
+// owned by this job alone, so jobs are safe to execute concurrently.
+type runJob struct {
+	cfg       config.DRAM
+	benchmark string
+	kind      PolicyKind
+	policy    core.Policy
+	source    trace.Source
+	opts      RunOptions // defaults already applied
+}
+
+// execute drives one job's stream through a fresh controller. The warmup
+// snapshot is taken exactly once (at the first measured record, or at the
+// warmup boundary for idle streams), then ctl.Finish finalises the module
+// before the results are read.
+func execute(j runJob) RunResult {
+	opts := j.opts
+	ctl := memctrl.MustNew(j.cfg, j.policy, memctrl.Options{
 		CheckRetention:   opts.CheckRetention,
 		SelfRefreshAfter: opts.SelfRefreshAfter,
 	})
-
-	gen := prof.NewSource(opts.Stacked)
 
 	end := opts.Warmup + opts.Measure
 
@@ -132,22 +158,25 @@ func Run(cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOption
 		front = cache.NewDRAMCache(config.Table2_3DCache())
 	}
 
-	var warmModule, warmPolicy = ctl.Module().Stats(), policy.Stats()
+	var warmModule, warmPolicy = ctl.Module().Stats(), j.policy.Stats()
 	warmed := false
+	takeWarmupSnapshot := func(t sim.Time) {
+		ctl.AdvanceTo(t)
+		ctl.Module().Finalize(t)
+		warmModule, warmPolicy = ctl.Module().Stats(), j.policy.Stats()
+		warmed = true
+	}
 	submit := func(t sim.Time, addr uint64, write bool) {
 		ctl.Submit(memctrl.Request{Time: t, Addr: addr, Write: write})
 	}
 
 	for {
-		rec, ok := gen.Next()
+		rec, ok := j.source.Next()
 		if !ok || rec.Time >= end {
 			break
 		}
 		if !warmed && rec.Time >= opts.Warmup {
-			ctl.AdvanceTo(rec.Time)
-			ctl.Module().Finalize(rec.Time)
-			warmModule, warmPolicy = ctl.Module().Stats(), policy.Stats()
-			warmed = true
+			takeWarmupSnapshot(rec.Time)
 		}
 		if opts.Stacked {
 			res := front.Access(rec.Time, rec.Addr, rec.Write)
@@ -162,17 +191,15 @@ func Run(cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOption
 		}
 	}
 	if !warmed {
-		// Idle stream: take the warmup snapshot at the warmup boundary.
-		ctl.AdvanceTo(opts.Warmup)
-		ctl.Module().Finalize(opts.Warmup)
-		warmModule, warmPolicy = ctl.Module().Stats(), policy.Stats()
+		// Idle stream: no record ever crossed the warmup boundary.
+		takeWarmupSnapshot(opts.Warmup)
 	}
 	ctl.Finish(end)
 
 	full := ctl.Results(end)
 	full.Module = full.Module.Sub(warmModule)
 	full.Policy = full.Policy.Sub(warmPolicy)
-	full.Energy = cfg.Power.Evaluate(full.Module, full.Policy)
+	full.Energy = j.cfg.Power.Evaluate(full.Module, full.Policy)
 	full.RefreshOps = full.Module.RefreshOps
 	full.RefreshCBR = full.Module.RefreshCBROps
 	full.RefreshRASOnly = full.Module.RefreshRASOnlyOps
@@ -182,9 +209,9 @@ func Run(cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOption
 	}
 
 	return RunResult{
-		Benchmark:    prof.Name,
-		Policy:       kind,
-		Config:       cfg.Name,
+		Benchmark:    j.benchmark,
+		Policy:       j.kind,
+		Config:       j.cfg.Name,
 		Window:       opts.Measure,
 		Results:      full,
 		RetentionErr: ctl.RetentionErr(),
@@ -217,10 +244,15 @@ type PairMetrics struct {
 // RunPair runs the baseline and Smart Refresh on the same stream and
 // derives the comparison metrics.
 func RunPair(cfg config.DRAM, prof workload.Profile, opts RunOptions) PairMetrics {
-	base := Run(cfg, prof, PolicyCBR, opts)
-	smart := Run(cfg, prof, PolicySmart, opts)
+	return PairFrom(Run(cfg, prof, PolicyCBR, opts), Run(cfg, prof, PolicySmart, opts))
+}
 
-	pm := PairMetrics{Benchmark: prof.Name, Config: cfg.Name}
+// PairFrom derives the comparison metrics from a finished baseline run
+// and a Smart Refresh run of the same stream. Every percentage guards its
+// denominator: a zero window, zero baseline rate or zero baseline energy
+// leaves the corresponding percentage at zero rather than NaN/Inf.
+func PairFrom(base, smart RunResult) PairMetrics {
+	pm := PairMetrics{Benchmark: base.Benchmark, Config: base.Config}
 	pm.BaselineRefreshesPerSec = base.RefreshesPerSecond()
 	pm.SmartRefreshesPerSec = smart.RefreshesPerSecond()
 	if pm.BaselineRefreshesPerSec > 0 {

@@ -179,6 +179,36 @@ func WritePairMetrics(w io.Writer, rows []experiment.PairMetrics, format Format)
 	}
 }
 
+// WriteEngineStats renders an engine's job counters: how many
+// simulations ran, how many figure requests the memo served without
+// simulating, and the summed per-job simulation wall time.
+func WriteEngineStats(w io.Writer, st experiment.EngineStats, format Format) error {
+	switch format {
+	case Text:
+		_, err := fmt.Fprintf(w, "engine: %d simulations run, %d memoised hits, %.2fs simulation wall time\n",
+			st.Finished, st.CacheHits, st.SimWall.Seconds())
+		return err
+	case CSV:
+		if _, err := fmt.Fprintln(w, "started,finished,cache_hits,sim_wall_seconds"); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%.3f\n", st.Started, st.Finished, st.CacheHits, st.SimWall.Seconds())
+		return err
+	case Markdown:
+		if _, err := fmt.Fprintln(w, "| simulations run | memoised hits | sim wall time |\n|---:|---:|---:|"); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "| %d | %d | %.2fs |\n", st.Finished, st.CacheHits, st.SimWall.Seconds())
+		return err
+	case JSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	default:
+		return fmt.Errorf("report: unknown format %d", int(format))
+	}
+}
+
 // WriteFigureBars renders the figure as a terminal bar chart, echoing the
 // paper's bar-per-benchmark presentation.
 func WriteFigureBars(w io.Writer, fig experiment.Figure, width int) error {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"smartrefresh/internal/experiment"
 	"smartrefresh/internal/stats"
@@ -209,5 +210,53 @@ func TestUnknownFormatErrors(t *testing.T) {
 	}
 	if err := WritePairMetrics(&sb, samplePairs(), Format(99)); err == nil {
 		t.Error("unknown pair format accepted")
+	}
+}
+
+func TestWriteEngineStats(t *testing.T) {
+	st := experiment.EngineStats{Started: 8, Finished: 8, CacheHits: 18, SimWall: 2500 * time.Millisecond}
+
+	var sb strings.Builder
+	if err := WriteEngineStats(&sb, st, Text); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); !strings.Contains(got, "8 simulations run") || !strings.Contains(got, "18 memoised hits") {
+		t.Errorf("text output missing counters: %q", got)
+	}
+
+	sb.Reset()
+	if err := WriteEngineStats(&sb, st, CSV); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 || lines[0] != "started,finished,cache_hits,sim_wall_seconds" {
+		t.Fatalf("csv output = %q", sb.String())
+	}
+	if lines[1] != "8,8,18,2.500" {
+		t.Errorf("csv row = %q", lines[1])
+	}
+
+	sb.Reset()
+	if err := WriteEngineStats(&sb, st, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| 8 | 18 |") {
+		t.Errorf("markdown output = %q", sb.String())
+	}
+
+	sb.Reset()
+	if err := WriteEngineStats(&sb, st, JSON); err != nil {
+		t.Fatal(err)
+	}
+	var back experiment.EngineStats
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Errorf("json round trip = %+v, want %+v", back, st)
+	}
+
+	if err := WriteEngineStats(&sb, st, Format(99)); err == nil {
+		t.Error("unknown engine-stats format accepted")
 	}
 }

@@ -195,6 +195,16 @@ type (
 	PolicyKind = experiment.PolicyKind
 	// ConfigKind selects one of the four evaluated configurations.
 	ConfigKind = experiment.ConfigKind
+	// Engine executes simulation jobs on a worker pool with memoisation.
+	Engine = experiment.Engine
+	// RunSpec identifies one memoisable simulation run by value.
+	RunSpec = experiment.RunSpec
+	// Job is one fully-specified (non-memoised) engine simulation.
+	Job = experiment.Job
+	// JobEvent describes one engine job to instrumentation hooks.
+	JobEvent = experiment.JobEvent
+	// EngineStats counts an engine's work.
+	EngineStats = experiment.EngineStats
 )
 
 // Policy kinds.
@@ -217,6 +227,10 @@ const (
 // NewSuite builds an experiment suite with default options.
 func NewSuite() *Suite { return experiment.NewSuite() }
 
+// NewEngine builds a simulation engine with the given worker bound
+// (workers <= 0 means one worker per CPU).
+func NewEngine(workers int) *Engine { return experiment.NewEngine(workers) }
+
 // Run simulates one benchmark against one configuration and policy.
 func Run(cfg Config, prof Profile, kind PolicyKind, opts RunOptions) RunResult {
 	return experiment.Run(cfg, prof, kind, opts)
@@ -225,4 +239,10 @@ func Run(cfg Config, prof Profile, kind PolicyKind, opts RunOptions) RunResult {
 // RunPair runs CBR and Smart Refresh on the same stream and compares them.
 func RunPair(cfg Config, prof Profile, opts RunOptions) PairMetrics {
 	return experiment.RunPair(cfg, prof, opts)
+}
+
+// PairFrom derives the comparison metrics from a finished baseline run
+// and a Smart Refresh run of the same stream.
+func PairFrom(base, smart RunResult) PairMetrics {
+	return experiment.PairFrom(base, smart)
 }
