@@ -1,0 +1,129 @@
+// Command simcheck sweeps the randomized differential-testing harness
+// (internal/check) over a block of scenario seeds, plus the vetted
+// configuration presets, and reports every violated invariant: retention
+// deadlines, Smart Refresh's oracle/CBR refresh-count bounds, pending
+// queue depth, energy-breakdown consistency, refresh-op accounting,
+// module residency and bit-identical reruns.
+//
+// Examples:
+//
+//	simcheck -seeds 64
+//	simcheck -seeds 1 -start 17 -v     # replay one failing seed verbosely
+//	simcheck -seeds 256 -presets=false # random scenarios only
+//
+// The exit status is 1 when any invariant is violated (or a scenario
+// panics), 0 on a clean sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"smartrefresh/internal/check"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("simcheck", flag.ContinueOnError)
+	fs.SetOutput(w)
+	seeds := fs.Int("seeds", 64, "number of random scenario seeds to check")
+	start := fs.Uint64("start", 1, "first seed of the block")
+	workers := fs.Int("workers", 0, "concurrent scenario checks (0: one per CPU)")
+	presets := fs.Bool("presets", true, "also check the vetted configuration presets")
+	verbose := fs.Bool("v", false, "describe every scenario, not just the dirty ones")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *seeds < 0 {
+		fmt.Fprintln(w, "simcheck: -seeds must be >= 0")
+		return 2
+	}
+
+	scenarios := make([]check.Scenario, 0, *seeds)
+	for i := 0; i < *seeds; i++ {
+		scenarios = append(scenarios, check.NewScenario(*start+uint64(i)))
+	}
+	if *presets {
+		scenarios = append(scenarios, check.PresetScenarios()...)
+	}
+
+	reports := checkAll(scenarios, *workers)
+
+	var violations, dirty int
+	for _, rep := range reports {
+		if *verbose || !rep.Ok() {
+			fmt.Fprintf(w, "%-24s %s\n", rep.Scenario.Name, describe(rep))
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintf(w, "  VIOLATION %s\n", v)
+		}
+		if !rep.Ok() {
+			dirty++
+			violations += len(rep.Violations)
+		}
+	}
+
+	fmt.Fprintf(w, "simcheck: %d scenarios, %d dirty, %d violations\n",
+		len(reports), dirty, violations)
+	if violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkAll evaluates the scenarios across a worker pool; the report
+// order matches the scenario order regardless of worker count.
+func checkAll(scenarios []check.Scenario, workers int) []check.Report {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	out := make([]check.Report, len(scenarios))
+	if workers <= 1 {
+		for i, sc := range scenarios {
+			out[i] = check.CheckScenario(sc)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = check.CheckScenario(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// describe summarises one report: the policies run and the refresh
+// requests each issued, or the violation count when dirty.
+func describe(rep check.Report) string {
+	if !rep.Ok() {
+		return fmt.Sprintf("DIRTY (%d violations)", len(rep.Violations))
+	}
+	counts := make([]string, 0, len(rep.Runs))
+	for _, run := range rep.Runs {
+		counts = append(counts, fmt.Sprintf("%s:%d", run.Policy, run.Res.Policy.RefreshesRequested))
+	}
+	sort.Strings(counts)
+	return "ok " + fmt.Sprint(counts)
+}

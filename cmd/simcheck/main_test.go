@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanSweepExitsZero(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-seeds", "4", "-presets=false"}, &out); code != 0 {
+		t.Fatalf("exit %d on a clean sweep:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "4 scenarios, 0 dirty, 0 violations") {
+		t.Errorf("summary missing or wrong:\n%s", out.String())
+	}
+}
+
+func TestVerboseListsEveryScenario(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-seeds", "2", "-presets=false", "-v"}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	for _, name := range []string{"seed-1", "seed-2"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("verbose output omits %s:\n%s", name, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "smart:") {
+		t.Errorf("verbose output omits per-policy refresh counts:\n%s", out.String())
+	}
+}
+
+// The report order must match the seed order for any worker count, so a
+// sweep's output is reproducible and diffable.
+func TestWorkerCountDoesNotReorder(t *testing.T) {
+	var serial, parallel strings.Builder
+	if code := run([]string{"-seeds", "6", "-presets=false", "-v", "-workers", "1"}, &serial); code != 0 {
+		t.Fatalf("serial sweep exit %d", code)
+	}
+	if code := run([]string{"-seeds", "6", "-presets=false", "-v", "-workers", "4"}, &parallel); code != 0 {
+		t.Fatalf("parallel sweep exit %d", code)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("output depends on worker count:\n--- workers=1\n%s--- workers=4\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-seeds", "-3"}, &out); code != 2 {
+		t.Errorf("negative seed count: exit %d, want 2", code)
+	}
+}

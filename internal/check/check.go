@@ -1,0 +1,389 @@
+// Package check is a randomized differential-testing and invariant
+// harness for the simulator. A Scenario (a DRAM configuration, a
+// synthetic workload and a run length, all derived deterministically from
+// a seed) is executed under every refresh policy — Smart Refresh, the
+// CBR/burst/oracle/no-refresh baselines and the retention-aware
+// extension — and the results are cross-checked against the properties
+// the paper's correctness and optimality arguments rest on:
+//
+//   - every refreshing policy honours the retention deadline (section
+//     4.3), verified by the memctrl retention checker with a slack
+//     matching the policy's documented transition bound;
+//   - Smart Refresh's refresh count lies between the oracle's and CBR's,
+//     up to a quantization slack (sections 4.4 and 4.6);
+//   - the pending refresh request queue never exceeds its configured
+//     depth (section 5);
+//   - the energy breakdown's components sum to its totals;
+//   - policy-side and module-side refresh counts agree exactly, with
+//     self-refresh-covered commands accounted separately; and
+//   - rerunning a scenario is bit-identical.
+//
+// The harness is exposed three ways: the property-test suite in this
+// package, native fuzz targets over the configuration edge cases, and
+// the cmd/simcheck sweep CLI.
+package check
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/memctrl"
+	"smartrefresh/internal/power"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/workload"
+)
+
+// Scenario is one fully-specified simulation setup, executed identically
+// under every policy.
+type Scenario struct {
+	// Name identifies the scenario in reports ("seed-17", "preset-...").
+	Name string
+	// Seed drives the workload generator and the retention map.
+	Seed uint64
+	Cfg  config.DRAM
+	// Spec is the synthetic access stream (zero footprint = idle).
+	Spec workload.StreamSpec
+	// Duration is the simulated span; every policy runs [0, Duration].
+	Duration sim.Duration
+	// SelfRefreshAfter arms controller self-refresh when positive.
+	SelfRefreshAfter sim.Duration
+	// IdleClose overrides the page-close timeout (zero = controller
+	// default, negative = never close).
+	IdleClose sim.Duration
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	Scenario  string
+	Policy    string
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s: %s", v.Scenario, v.Policy, v.Invariant, v.Detail)
+}
+
+// PolicyRun captures one policy's execution of a scenario. Errors are
+// stored as strings so runs compare with reflect.DeepEqual (the
+// determinism invariant).
+type PolicyRun struct {
+	Policy string
+	Res    memctrl.Results
+	// DroppedSelfRefresh counts policy refresh commands elided while
+	// their rank slept (the module's engine covered them).
+	DroppedSelfRefresh uint64
+	// RetentionErr is the retention checker verdict ("" = clean).
+	RetentionErr string
+	// Panic is non-empty when the run panicked or was rejected.
+	Panic string
+}
+
+// Report is the outcome of checking one scenario.
+type Report struct {
+	Scenario   Scenario
+	Runs       []PolicyRun
+	Violations []Violation
+}
+
+// Ok reports whether every invariant held.
+func (r Report) Ok() bool { return len(r.Violations) == 0 }
+
+// policyCase binds a policy constructor to its per-policy checker
+// parameters.
+type policyCase struct {
+	name string
+	make func() core.Policy
+	// slack widens the retention deadline to the policy's documented
+	// restore bound (burst serialisation, disable/self-refresh
+	// transitions).
+	slack sim.Duration
+	// retMap scales per-row deadlines for the retention-aware policy.
+	retMap *core.RetentionMap
+	// refreshes marks policies that must keep every row alive.
+	refreshes bool
+}
+
+// baseSlack absorbs command queueing behind demand traffic beyond the
+// controller's own RetentionGrace allowance.
+const baseSlack = 4 * sim.Microsecond
+
+// policyCases enumerates the differential set for a scenario.
+func policyCases(sc Scenario) []policyCase {
+	g := sc.Cfg.Geometry
+	interval := sc.Cfg.Timing.RefreshInterval
+	// Entry/exit hides the module walker's phase: a two-interval bound,
+	// exactly as for the section 4.6 disable transitions.
+	transition := sim.Duration(0)
+	if sc.SelfRefreshAfter > 0 {
+		transition = 2 * interval
+	}
+	// With few segments the tick period (counter access period divided by
+	// rows-per-segment) can drop below TRefreshRow, and consecutive ticks
+	// index consecutive rows of the same bank, so due refreshes chain
+	// behind one bank and each completion slips a little further. One
+	// bank's worth of chained refreshes costs Rows x TRefreshRow; doubled
+	// because adjacent passes can slip in opposite directions.
+	serial := 2 * sim.Duration(g.Rows) * sc.Cfg.Timing.TRefreshRow
+	smartSlack := baseSlack + transition + serial
+	if sc.Cfg.Smart.SelfDisable {
+		smartSlack += 2 * interval
+	}
+	// Burst dispatches a whole interval's refreshes at one tick; they
+	// serialise per bank at TRefreshRow each.
+	burstSlack := baseSlack + transition + sim.Duration(g.Rows)*sc.Cfg.Timing.TRefreshRow
+
+	rmap := core.NewRetentionMap(g, core.DefaultRetentionClasses(), sc.Seed)
+	rcfg := sc.Cfg.Smart
+	rcfg.SelfDisable = false
+	return []policyCase{
+		{name: "smart", refreshes: true, slack: smartSlack,
+			make: func() core.Policy { return core.NewSmart(g, interval, sc.Cfg.Smart) }},
+		{name: "cbr", refreshes: true, slack: baseSlack + transition,
+			make: func() core.Policy { return core.NewCBR(g, interval) }},
+		{name: "burst", refreshes: true, slack: burstSlack,
+			make: func() core.Policy { return core.NewBurst(g, interval) }},
+		{name: "oracle", refreshes: true, slack: baseSlack + transition,
+			make: func() core.Policy { return core.NewOracle(g, interval, sc.Cfg.Timing.TRefreshRow*16) }},
+		{name: "none", refreshes: false, slack: baseSlack,
+			make: func() core.Policy { return core.NoRefresh{} }},
+		{name: "smart-retention", refreshes: true, slack: baseSlack + transition + serial, retMap: rmap,
+			make: func() core.Policy { return core.NewRetentionAwareSmart(g, interval, rcfg, rmap) }},
+	}
+}
+
+// runPolicy executes one policy over the scenario, converting panics
+// into a recorded failure instead of crashing the harness.
+func runPolicy(sc Scenario, pc policyCase) (run PolicyRun) {
+	run.Policy = pc.name
+	defer func() {
+		if r := recover(); r != nil {
+			run.Panic = fmt.Sprint(r)
+		}
+	}()
+
+	ctl, err := memctrl.New(sc.Cfg, pc.make(), memctrl.Options{
+		CheckRetention:   true,
+		RetentionSlack:   pc.slack,
+		RetentionMap:     pc.retMap,
+		SelfRefreshAfter: sc.SelfRefreshAfter,
+		IdleClose:        sc.IdleClose,
+	})
+	if err != nil {
+		run.Panic = "construct: " + err.Error()
+		return run
+	}
+
+	src := workload.NewGenerator(sc.Spec, sc.Seed)
+	end := sim.Time(sc.Duration)
+	for {
+		rec, ok := src.Next()
+		if !ok || rec.Time >= end {
+			break
+		}
+		ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
+	}
+	ctl.Finish(end)
+
+	run.Res = ctl.Results(end)
+	run.DroppedSelfRefresh = ctl.RefreshesDroppedSelfRefresh()
+	if rerr := ctl.RetentionErr(); rerr != nil {
+		run.RetentionErr = rerr.Error()
+	}
+	return run
+}
+
+// CheckScenario runs every policy (twice, for the determinism check)
+// and evaluates all invariants.
+func CheckScenario(sc Scenario) Report {
+	rep := Report{Scenario: sc}
+	add := func(policy, invariant, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{
+			Scenario:  sc.Name,
+			Policy:    policy,
+			Invariant: invariant,
+			Detail:    fmt.Sprintf(format, args...),
+		})
+	}
+
+	byName := map[string]PolicyRun{}
+	for _, pc := range policyCases(sc) {
+		run := runPolicy(sc, pc)
+		if rerun := runPolicy(sc, pc); !reflect.DeepEqual(run, rerun) {
+			add(pc.name, "determinism", "rerun differs:\n first: %+v\nsecond: %+v", run, rerun)
+		}
+		rep.Runs = append(rep.Runs, run)
+		byName[pc.name] = run
+		checkRun(sc, pc, run, add)
+	}
+	checkRefreshBounds(sc, byName, add)
+	return rep
+}
+
+// CheckSeed generates and checks the scenario for one seed.
+func CheckSeed(seed uint64) Report { return CheckScenario(NewScenario(seed)) }
+
+// checkRun evaluates the per-run invariants.
+func checkRun(sc Scenario, pc policyCase, run PolicyRun, add func(policy, invariant, format string, args ...any)) {
+	if run.Panic != "" {
+		add(pc.name, "panic", "%s", run.Panic)
+		return
+	}
+	if pc.refreshes && run.RetentionErr != "" {
+		add(pc.name, "retention", "%s", run.RetentionErr)
+	}
+	// The no-refresh run doubles as a sanity check of the checker
+	// itself: on an idle workload with self-refresh disarmed nothing
+	// ever restores a row, so a run longer than the checked deadline
+	// must be flagged. (An armed controller legitimately keeps idle
+	// rows alive through the module's self-refresh engine.)
+	if !pc.refreshes && sc.Spec.FootprintBytes == 0 && sc.SelfRefreshAfter <= 0 {
+		deadline := sc.Cfg.Timing.RefreshInterval + memctrl.RetentionGrace + pc.slack
+		if sim.Time(sc.Duration) > sim.Time(deadline) && run.RetentionErr == "" {
+			add(pc.name, "checker-sanity", "no-refresh run of %v passed a %v retention deadline", sc.Duration, deadline)
+		}
+	}
+
+	ps, ms := run.Res.Policy, run.Res.Module
+
+	// Section 5: a tick emits at most Segments requests and the queue
+	// drains every Advance, so its high-water mark is bounded by the
+	// configured depth.
+	if depth := sc.Cfg.Smart.QueueDepth; ps.MaxPendingPerTick > depth {
+		add(pc.name, "queue-depth", "MaxPendingPerTick %d > QueueDepth %d", ps.MaxPendingPerTick, depth)
+	}
+
+	// Every emitted refresh command either reached the module or was
+	// covered by self-refresh — exactly, no leaks in either direction.
+	if ps.RefreshesRequested != ms.RefreshOps+run.DroppedSelfRefresh {
+		add(pc.name, "refresh-accounting", "requested %d != module ops %d + dropped %d",
+			ps.RefreshesRequested, ms.RefreshOps, run.DroppedSelfRefresh)
+	}
+	if ms.RefreshOps != ms.RefreshCBROps+ms.RefreshRASOnlyOps {
+		add(pc.name, "refresh-accounting", "ops %d != CBR %d + RAS-only %d",
+			ms.RefreshOps, ms.RefreshCBROps, ms.RefreshRASOnlyOps)
+	}
+	if pc.name == "none" && ms.RefreshOps != 0 {
+		add(pc.name, "refresh-accounting", "no-refresh policy issued %d refresh ops", ms.RefreshOps)
+	}
+
+	checkEnergy(pc.name, run.Res.Energy, add)
+	checkResidency(sc, pc.name, ms, add)
+
+	// Latency summaries must be finite and ordered (the histogram
+	// quantile overflow clamp).
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"avg", run.Res.AvgLatencyNS}, {"p50", run.Res.P50LatencyNS}, {"p99", run.Res.P99LatencyNS}} {
+		if math.IsNaN(q.v) || math.IsInf(q.v, 0) {
+			add(pc.name, "latency", "%s latency %v not finite", q.label, q.v)
+		}
+	}
+	if run.Res.P50LatencyNS > run.Res.P99LatencyNS {
+		add(pc.name, "latency", "p50 %v > p99 %v", run.Res.P50LatencyNS, run.Res.P99LatencyNS)
+	}
+}
+
+// checkEnergy verifies the breakdown is finite, non-negative and
+// internally consistent with its aggregate accessors.
+func checkEnergy(policy string, b power.Breakdown, add func(policy, invariant, format string, args ...any)) {
+	comps := []struct {
+		label string
+		v     power.Energy
+	}{
+		{"Background", b.Background}, {"ActPre", b.ActPre},
+		{"Read", b.Read}, {"Write", b.Write},
+		{"RefreshArray", b.RefreshArray}, {"RefreshBus", b.RefreshBus},
+		{"RefreshCounter", b.RefreshCounter},
+	}
+	var sum float64
+	for _, c := range comps {
+		v := float64(c.v)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			add(policy, "energy-sum", "component %s = %v", c.label, c.v)
+		}
+		sum += v
+	}
+	if !closeEnough(sum, float64(b.Total())) {
+		add(policy, "energy-sum", "components sum to %v, Total() = %v", sum, b.Total())
+	}
+	refresh := float64(b.RefreshArray) + float64(b.RefreshBus) + float64(b.RefreshCounter)
+	if !closeEnough(refresh, float64(b.RefreshRelated())) {
+		add(policy, "energy-sum", "refresh components sum to %v, RefreshRelated() = %v", refresh, b.RefreshRelated())
+	}
+	if policy == "none" && b.RefreshRelated() != 0 {
+		add(policy, "energy-sum", "no-refresh run charged %v refresh energy", b.RefreshRelated())
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale+1e-9
+}
+
+// checkResidency verifies the module's time accounting: rank-time is
+// conserved (active + idle covers every rank over the whole run; the
+// module may run slightly past the end to complete in-flight ops) and
+// the low-power residencies are subsets of idle time.
+func checkResidency(sc Scenario, policy string, ms dram.ModuleStats, add func(policy, invariant, format string, args ...any)) {
+	ranks := sim.Duration(sc.Cfg.Geometry.Channels * sc.Cfg.Geometry.Ranks)
+	span := ms.ActiveTime + ms.IdleTime
+	if ms.ActiveTime < 0 || ms.IdleTime < 0 {
+		add(policy, "residency", "negative residency: active %v idle %v", ms.ActiveTime, ms.IdleTime)
+	}
+	if span < ranks*sc.Duration {
+		add(policy, "residency", "active %v + idle %v < %d ranks x %v", ms.ActiveTime, ms.IdleTime, ranks, sc.Duration)
+	}
+	if ms.SelfRefreshTime < 0 || ms.SelfRefreshTime > ms.IdleTime {
+		add(policy, "residency", "self-refresh time %v outside idle time %v", ms.SelfRefreshTime, ms.IdleTime)
+	}
+	if ms.PowerDownTime < 0 || ms.PowerDownTime > ms.IdleTime {
+		add(policy, "residency", "power-down time %v outside idle time %v", ms.PowerDownTime, ms.IdleTime)
+	}
+	if sc.SelfRefreshAfter <= 0 && (ms.SelfRefreshTime != 0 || ms.SelfRefreshEntries != 0) {
+		add(policy, "residency", "self-refresh engaged (%v, %d entries) without arming",
+			ms.SelfRefreshTime, ms.SelfRefreshEntries)
+	}
+}
+
+// checkRefreshBounds places Smart Refresh's request count between the
+// oracle's (the section 4.4 optimum) and distributed CBR's (the
+// baseline it improves on), and the retention-aware extension at or
+// below plain Smart Refresh. Counter quantization, segment stagger and
+// mode switches shift counts by bounded amounts, absorbed by boundSlack.
+func checkRefreshBounds(sc Scenario, byName map[string]PolicyRun, add func(policy, invariant, format string, args ...any)) {
+	smart, cbr, oracle, rar := byName["smart"], byName["cbr"], byName["oracle"], byName["smart-retention"]
+	if smart.Panic != "" || cbr.Panic != "" || oracle.Panic != "" || rar.Panic != "" {
+		return // already reported as panics
+	}
+	slack := boundSlack(sc, smart.Res.Policy)
+	s, c, o := smart.Res.Policy.RefreshesRequested, cbr.Res.Policy.RefreshesRequested, oracle.Res.Policy.RefreshesRequested
+	if s > c+slack {
+		add("smart", "refresh-bound-upper", "smart requested %d > cbr %d + slack %d", s, c, slack)
+	}
+	if s+slack < o {
+		add("smart", "refresh-bound-lower", "smart requested %d + slack %d < oracle %d", s, slack, o)
+	}
+	if r := rar.Res.Policy.RefreshesRequested; r > s+slack {
+		add("smart-retention", "refresh-bound-upper", "retention-aware requested %d > smart %d + slack %d", r, s, slack)
+	}
+}
+
+// boundSlack bounds the count differences the mechanisms themselves
+// introduce: up to one counter-access period of phase per row
+// (rows/2^bits), segment- and bank-granularity rounding at the window
+// edges, and one full counter-zeroing sweep per re-enable switch
+// (section 4.6 re-enables conservatively by zeroing every counter).
+func boundSlack(sc Scenario, smart core.PolicyStats) uint64 {
+	rows := uint64(sc.Cfg.Geometry.TotalRows())
+	modulus := uint64(1) << uint(sc.Cfg.Smart.CounterBits)
+	slack := rows/modulus + 2*uint64(sc.Cfg.Smart.Segments+sc.Cfg.Geometry.TotalBanks()) + 64
+	slack += (smart.EnableSwitches + smart.DisableSwitches) * rows
+	return slack
+}

@@ -1,0 +1,121 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/workload"
+)
+
+// NewScenario derives a random but always-valid scenario from a seed:
+// a small geometry (so runs stay fast), a randomized Smart
+// configuration, a 1-4 ms refresh interval, a 3-5 interval run, a
+// workload ranging from fully idle to a footprint covering the whole
+// module, and (half the time) controller self-refresh. The same seed
+// always yields the same scenario.
+func NewScenario(seed uint64) Scenario {
+	rng := sim.NewRNG(seed)
+
+	cfg := config.Table1_2GB()
+	cfg.Name = fmt.Sprintf("rand-%d", seed)
+	cfg.Geometry.Ranks = 1 << rng.Intn(2)   // 1 or 2
+	cfg.Geometry.Banks = 2 << rng.Intn(3)   // 2, 4 or 8
+	cfg.Geometry.Rows = 64 << rng.Intn(4)   // 64..512
+	cfg.Geometry.Columns = 64 << rng.Intn(2)
+	cfg.Timing.RefreshInterval = sim.Duration(1+rng.Intn(4)) * sim.Millisecond
+	cfg.Power.Geometry = cfg.Geometry
+	cfg.Power.Timing = cfg.Timing
+
+	cfg.Smart.CounterBits = 2 + rng.Intn(3) // 2..4
+	cfg.Smart.Segments = 1 << rng.Intn(5)   // 1..16; always divides the pow2 row count
+	cfg.Smart.QueueDepth = cfg.Smart.Segments + rng.Intn(cfg.Smart.Segments+8)
+	cfg.Smart.SelfDisable = rng.Bool(0.5)
+
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("check: generated invalid config for seed %d: %v", seed, err))
+	}
+
+	sc := Scenario{
+		Name:     fmt.Sprintf("seed-%d", seed),
+		Seed:     seed,
+		Cfg:      cfg,
+		Duration: sim.Duration(3+rng.Intn(3)) * cfg.Timing.RefreshInterval,
+	}
+
+	// A quarter of the scenarios are fully idle — the regime where
+	// self-refresh, power-down and the section 4.6 disable path live.
+	// (An idle spec still needs a positive stride to validate.)
+	sc.Spec = workload.StreamSpec{StrideBytes: cfg.Geometry.RowBytes()}
+	if !rng.Bool(0.25) {
+		interval := cfg.Timing.RefreshInterval
+		totalRows := cfg.Geometry.TotalRows()
+		footRows := 1 + rng.Intn(totalRows)
+		sc.Spec = workload.StreamSpec{
+			FootprintBytes: int64(footRows) * cfg.Geometry.RowBytes(),
+			StrideBytes:    cfg.Geometry.RowBytes(),
+			// Sweep periods straddle the (1-2^-bits) * interval threshold
+			// below which touched rows skip every periodic refresh.
+			SweepPeriod:    interval/4 + sim.Duration(rng.Int63n(int64(interval))),
+			RowRepeats:     rng.Float64() * 2,
+			WriteFraction:  rng.Float64() * 0.5,
+			JitterFraction: rng.Float64() * 0.3,
+			Shuffle:        rng.Bool(0.5),
+		}
+		if err := sc.Spec.Validate(); err != nil {
+			panic(fmt.Sprintf("check: generated invalid workload for seed %d: %v", seed, err))
+		}
+	}
+
+	if rng.Bool(0.5) {
+		// Above the default 2 us page-close timeout, below the interval,
+		// so sparse workloads sleep and wake repeatedly.
+		sc.SelfRefreshAfter = 10*sim.Microsecond + sim.Duration(rng.Int63n(int64(150*sim.Microsecond)))
+	}
+	return sc
+}
+
+// PresetScenarios exercises every vetted configuration preset with a
+// moderate mixed workload, plus one idle self-refresh scenario, using
+// shorter two-interval runs (the presets have full-size row counts).
+func PresetScenarios() []Scenario {
+	presets := config.Presets()
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make([]Scenario, 0, len(names)+1)
+	for _, name := range names {
+		cfg := presets[name]
+		interval := cfg.Timing.RefreshInterval
+		out = append(out, Scenario{
+			Name:     "preset-" + name,
+			Seed:     1,
+			Cfg:      cfg,
+			Duration: 2 * interval,
+			Spec: workload.StreamSpec{
+				FootprintBytes: 512 * cfg.Geometry.RowBytes(),
+				StrideBytes:    cfg.Geometry.RowBytes(),
+				SweepPeriod:    interval / 2,
+				RowRepeats:     1,
+				WriteFraction:  0.3,
+				JitterFraction: 0.1,
+				Shuffle:        true,
+			},
+		})
+	}
+
+	idle := presets[names[0]]
+	out = append(out, Scenario{
+		Name:             "preset-" + idle.Name + "-selfrefresh",
+		Seed:             1,
+		Cfg:              idle,
+		Duration:         2 * idle.Timing.RefreshInterval,
+		Spec:             workload.StreamSpec{StrideBytes: idle.Geometry.RowBytes()},
+		SelfRefreshAfter: 100 * sim.Microsecond,
+	})
+	return out
+}

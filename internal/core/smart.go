@@ -66,7 +66,8 @@ func (c SmartConfig) Validate() error {
 			c.QueueDepth, c.Segments)
 	}
 	if c.SelfDisable {
-		if c.DisableBelow <= 0 || c.EnableAbove <= c.DisableBelow {
+		// Negated comparisons so NaN thresholds fail too.
+		if !(c.DisableBelow > 0) || !(c.EnableAbove > c.DisableBelow) {
 			return fmt.Errorf("core: disable thresholds %v/%v must satisfy 0 < disable < enable",
 				c.DisableBelow, c.EnableAbove)
 		}

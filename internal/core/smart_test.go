@@ -406,6 +406,116 @@ func TestSmartDisableHysteresis(t *testing.T) {
 	_ = cmds
 }
 
+// TestSmartDisabledNextTickTieBreak pins the disabled-mode event schedule:
+// NextTick is the earlier of the CBR delegate's slot and the access-density
+// window boundary, and the last slot of a window lands exactly ON the
+// boundary (TotalRows slots divide the interval evenly). That tie must
+// resolve to one event that advances both the slot walk and the window
+// evaluation — a stalled loop (NextTick not advancing) or a skipped slot
+// here would either hang the controller's event loop or silently drop a
+// refresh.
+func TestSmartDisabledNextTickTieBreak(t *testing.T) {
+	g := smallGeom()
+	s := NewSmart(g, testInterval, DefaultSmartConfig())
+	var cmds []Command
+	cmds = s.Advance(testInterval, cmds[:0])
+	if !s.Disabled() {
+		t.Fatal("precondition: not disabled after an idle interval")
+	}
+
+	// The hand-off Advance already consumed the delegate's slot 0 at the
+	// disable boundary itself, so the next event is one slot later.
+	boundary := sim.Time(testInterval)
+	slot := sim.Time(testInterval) / sim.Time(g.TotalRows())
+	if next, ok := s.NextTick(); !ok || next != boundary+slot {
+		t.Fatalf("NextTick after disable = %v,%v, want %v", next, ok, boundary+slot)
+	}
+
+	// Drive the event loop across one full disabled window, checking every
+	// event lands on the slot grid and the loop always makes progress.
+	prev := boundary
+	steps := 0
+	windowEnd := boundary + sim.Time(testInterval)
+	for {
+		next, ok := s.NextTick()
+		if !ok {
+			t.Fatal("NextTick reported no event while disabled")
+		}
+		if next <= prev {
+			t.Fatalf("event loop stalled: NextTick %v after %v", next, prev)
+		}
+		if next > windowEnd {
+			break
+		}
+		if want := boundary + sim.Time(steps+1)*slot; next != want {
+			t.Fatalf("event %d at %v, want %v", steps, next, want)
+		}
+		cmds = s.Advance(next, cmds[:0])
+		prev = next
+		steps++
+		if steps > g.TotalRows() {
+			t.Fatal("more events than slots in one window")
+		}
+	}
+	// Slots 1..TotalRows; the final one coincides with the window boundary
+	// and is consumed together with the window evaluation.
+	if steps != g.TotalRows() {
+		t.Errorf("events in one disabled window = %d, want %d", steps, g.TotalRows())
+	}
+	if !s.Disabled() {
+		t.Error("idle window re-enabled the policy")
+	}
+}
+
+// TestSmartModeSwitchAcrossMultipleWindows drives several access-density
+// windows — including both transitions — through one Advance call: the
+// window evaluation must process each boundary in order with that window's
+// own access count (no leakage between windows), the re-enable sweep must
+// refresh every row, and the disabled-time accounting must sum the two
+// disjoint disabled spans.
+func TestSmartModeSwitchAcrossMultipleWindows(t *testing.T) {
+	g := smallGeom()
+	s := NewSmart(g, testInterval, DefaultSmartConfig())
+	var cmds []Command
+	// Window [0, i): idle, disables at the boundary.
+	cmds = s.Advance(testInterval, cmds[:0])
+	if !s.Disabled() || s.Stats().DisableSwitches != 1 {
+		t.Fatalf("precondition: %+v not disabled after an idle interval", s.Stats())
+	}
+
+	// Hot traffic in window [i, 2i): density 1.0, far above EnableAbove.
+	for flat := 0; flat < g.TotalRows(); flat++ {
+		s.OnRowRestore(testInterval+sim.Time(flat), dram.RowFromFlat(g, flat))
+	}
+	// One Advance over three more windows: re-enable at 2i (hot window),
+	// full counter-zeroing sweep during [2i, 3i), idle density disables
+	// again at 3i, and the 4i boundary is evaluated still-disabled.
+	cmds = s.Advance(4*testInterval, cmds[:0])
+
+	st := s.Stats()
+	if !s.Disabled() {
+		t.Error("idle windows after the hot one did not re-disable")
+	}
+	if st.DisableSwitches != 2 || st.EnableSwitches != 1 {
+		t.Errorf("switches = %d disable / %d enable, want 2/1", st.DisableSwitches, st.EnableSwitches)
+	}
+	// Disabled spans [i, 2i) and [3i, 4i): exactly two intervals.
+	if st.TimeDisabled != 2*testInterval {
+		t.Errorf("TimeDisabled = %v, want %v", st.TimeDisabled, 2*testInterval)
+	}
+	// The conservative re-enable zeroed every counter: the sweep must have
+	// refreshed every row of the module within the enabled window.
+	swept := map[dram.RowID]bool{}
+	for _, c := range cmds {
+		if c.Kind == dram.RefreshRASOnly && c.Row >= 0 {
+			swept[c.RowID()] = true
+		}
+	}
+	if len(swept) != g.TotalRows() {
+		t.Errorf("re-enable sweep covered %d rows, want %d", len(swept), g.TotalRows())
+	}
+}
+
 // TestSmartCorrectnessWithDisable: with the self-disable circuitry active,
 // the restore gap across mode-switch transitions is bounded by twice the
 // interval (the controller cannot observe the module-internal CBR counter

@@ -546,7 +546,15 @@ func (m *Module) InSelfRefresh(channel, rank int) bool {
 // maintains retention from its internal oscillator and draws IDD6. All
 // banks of the rank must be precharged, and the rank accepts no commands
 // until ExitSelfRefresh. Entering twice is a controller bug and panics.
-func (m *Module) EnterSelfRefresh(t sim.Time, channel, rank int) {
+//
+// Self-refresh entry cannot precede the rank's in-flight work: the SRE
+// command queues behind the rank's last scheduled operation, so a t
+// before that horizon (a controller deciding on a wall-clock idle
+// deadline while queued refreshes are still completing) is clamped
+// forward — otherwise the overlap would be double-counted as both
+// active and self-refresh residency. The effective entry time is
+// returned.
+func (m *Module) EnterSelfRefresh(t sim.Time, channel, rank int) sim.Time {
 	ri := m.rankIndex(channel, rank)
 	r := &m.ranks[ri]
 	if r.inSelfRefresh {
@@ -556,12 +564,22 @@ func (m *Module) EnterSelfRefresh(t sim.Time, channel, rank int) {
 		panic(fmt.Sprintf("dram: self-refresh entry with %d open banks on ch%d/rk%d",
 			r.openBanks, channel, rank))
 	}
+	for b := 0; b < m.geom.Banks; b++ {
+		bi := (BankID{Channel: channel, Rank: rank, Bank: b}).Flat(m.geom)
+		if ready := m.banks[bi].readyAt; ready > t {
+			t = ready
+		}
+	}
+	if r.lastUpdate > t {
+		t = r.lastUpdate
+	}
 	m.observe(t)
 	m.updateRank(ri, t)
 	m.accumulatePowerDown(r, t)
 	r.inSelfRefresh = true
 	r.srSince = t
 	m.stats.SelfRefreshEntries++
+	return t
 }
 
 // ExitSelfRefresh leaves self-refresh at time t and returns when the rank

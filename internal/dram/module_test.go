@@ -602,6 +602,43 @@ func TestSelfRefreshGuards(t *testing.T) {
 	}
 }
 
+// A self-refresh entry decided on a wall-clock idle deadline can land
+// while queued refreshes are still chaining through the rank's banks;
+// the module must clamp the entry behind the busy horizon, or the
+// overlap is double-counted as both active and self-refresh residency.
+func TestSelfRefreshEntryClampedBehindBusyRank(t *testing.T) {
+	m := testModule()
+	// Queue a burst of back-to-back CBR refreshes on one bank: each
+	// occupies the bank for TRefreshRow, pushing its ready horizon far
+	// past the submission time.
+	const ops = 1000
+	var horizon sim.Time
+	for i := 0; i < ops; i++ {
+		res := m.RefreshNextCBR(0, BankID{Channel: 0, Rank: 0, Bank: 0})
+		horizon = res.Done
+	}
+	if horizon < sim.Time(ops)*sim.Time(m.Timing().TRefreshRow) {
+		t.Fatalf("refresh chain ends at %v, expected at least %v serialised",
+			horizon, sim.Time(ops)*sim.Time(m.Timing().TRefreshRow))
+	}
+
+	// Entry requested mid-chain: must be deferred to the busy horizon.
+	entered := m.EnterSelfRefresh(sim.Microsecond, 0, 0)
+	if entered < horizon {
+		t.Errorf("entry at %v predates the rank's busy horizon %v", entered, horizon)
+	}
+
+	end := 2 * horizon
+	m.Finalize(end)
+	st := m.Stats()
+	if want := sim.Duration(end - entered); st.SelfRefreshTime != want {
+		t.Errorf("SR time = %v, want %v (entry clamped to %v)", st.SelfRefreshTime, want, entered)
+	}
+	if st.SelfRefreshTime > st.IdleTime {
+		t.Errorf("SR time %v exceeds idle time %v", st.SelfRefreshTime, st.IdleTime)
+	}
+}
+
 func TestSelfRefreshExcludesPowerDown(t *testing.T) {
 	m := testModule()
 	m.SetPowerDown(1 * sim.Microsecond)

@@ -120,10 +120,14 @@ type Engine struct {
 }
 
 // memoEntry is a singleflight slot: the first claimant simulates and
-// closes done; later claimants wait on done and read res.
+// closes done; later claimants wait on done and read res/err. A panic in
+// the simulation is converted into err for every claimant — done is
+// closed unconditionally (in a defer), so waiters can never hang on a
+// failed flight.
 type memoEntry struct {
 	done chan struct{}
 	res  RunResult
+	err  error
 }
 
 // NewEngine returns an engine with the given worker bound (<= 0 means
@@ -153,7 +157,7 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 		e.mu.Unlock()
 		<-ent.done
 		e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, true, 0)
-		return ent.res, nil
+		return ent.res, ent.err
 	}
 	if e.memo == nil {
 		e.memo = map[RunSpec]*memoEntry{}
@@ -165,13 +169,23 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 
 	e.emit(e.OnJobStart, spec.Config.String(), spec.Benchmark, spec.Policy, false, 0)
 	start := time.Now()
-	ent.res = Run(spec.Config.DRAM(), prof, spec.Policy, spec.Opts)
+	func() {
+		// Close done even if the simulation panics (e.g. an option
+		// combination the controller rejects); otherwise every concurrent
+		// claimant of this spec would wait forever.
+		defer func() {
+			if r := recover(); r != nil {
+				ent.err = fmt.Errorf("experiment: run %s panicked: %v", spec.Key(), r)
+			}
+			close(ent.done)
+		}()
+		ent.res = Run(spec.Config.DRAM(), prof, spec.Policy, spec.Opts)
+	}()
 	wall := time.Since(start)
-	close(ent.done)
 
 	e.finish(wall)
 	e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, false, wall)
-	return ent.res, nil
+	return ent.res, ent.err
 }
 
 // RunAll executes the specs across the worker pool and returns their
@@ -219,14 +233,31 @@ func (e *Engine) runJob(job Job) RunResult {
 	e.emit(e.OnJobStart, job.Cfg.Name, job.Prof.Name, job.Policy, false, 0)
 
 	start := time.Now()
-	res := execute(runJob{
-		cfg:       job.Cfg,
-		benchmark: job.Prof.Name,
-		kind:      job.Policy,
-		policy:    policy(),
-		source:    source(),
-		opts:      opts,
-	})
+	var res RunResult
+	func() {
+		// A job with a rejected configuration (or a panicking constructor)
+		// must not take down the worker pool — and with it every other
+		// job in the batch; it reports through RunResult.Err instead.
+		defer func() {
+			if r := recover(); r != nil {
+				res = RunResult{
+					Benchmark: job.Prof.Name,
+					Policy:    job.Policy,
+					Config:    job.Cfg.Name,
+					Err: fmt.Errorf("experiment: job %s/%s/%s panicked: %v",
+						job.Cfg.Name, job.Prof.Name, job.Policy, r),
+				}
+			}
+		}()
+		res = execute(runJob{
+			cfg:       job.Cfg,
+			benchmark: job.Prof.Name,
+			kind:      job.Policy,
+			policy:    policy(),
+			source:    source(),
+			opts:      opts,
+		})
+	}()
 	wall := time.Since(start)
 
 	e.finish(wall)

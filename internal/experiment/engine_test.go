@@ -4,7 +4,9 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
+	"smartrefresh/internal/core"
 	"smartrefresh/internal/sim"
 	"smartrefresh/internal/workload"
 )
@@ -188,6 +190,82 @@ func TestEngineRunJobsOrderAndEquivalence(t *testing.T) {
 		if !reflect.DeepEqual(parallelRes[i], direct) {
 			t.Errorf("result %d differs from direct Run", i)
 		}
+	}
+}
+
+// panicSpec is a spec whose simulation panics: SelfRefreshAfter below
+// the default idle-close timeout is rejected by memctrl.New, and
+// experiment.Run constructs the controller with MustNew.
+func panicSpec() RunSpec {
+	return RunSpec{
+		Config:    Conv2GB,
+		Benchmark: "gcc",
+		Policy:    PolicyCBR,
+		Opts:      RunOptions{SelfRefreshAfter: 1 * sim.Microsecond},
+	}
+}
+
+// Regression for the singleflight deadlock: a panic inside the memoised
+// simulation used to leave the entry's done channel unclosed, hanging
+// every other claimant of that spec forever. All claimants must now
+// receive the panic as an error.
+func TestEngineRunPanicDoesNotDeadlock(t *testing.T) {
+	eng := NewEngine(4)
+	spec := panicSpec()
+
+	const claimants = 4
+	errs := make(chan error, claimants)
+	for c := 0; c < claimants; c++ {
+		go func() {
+			_, err := eng.Run(spec)
+			errs <- err
+		}()
+	}
+	for c := 0; c < claimants; c++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Error("claimant of a panicking spec got a nil error")
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("claimant %d of %d hung on the panicked flight", c+1, claimants)
+		}
+	}
+
+	// The memoised failure is served to later callers too.
+	if _, err := eng.Run(spec); err == nil {
+		t.Error("memoised panicked spec returned nil error")
+	}
+	// The engine stays usable after a failed flight.
+	if _, err := eng.Run(RunSpec{Config: Conv2GB, Benchmark: "gcc", Policy: PolicyCBR, Opts: engineOpts()}); err != nil {
+		t.Errorf("healthy spec after a panicked flight: %v", err)
+	}
+}
+
+// A panicking job must not take down RunJobs' worker pool: it reports
+// through RunResult.Err while the remaining jobs complete normally.
+func TestEngineRunJobsPanicIsolated(t *testing.T) {
+	cfg := Conv2GB.DRAM()
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engineOpts()
+	jobs := []Job{
+		{Cfg: cfg, Prof: prof, Policy: PolicySmart, Opts: opts,
+			MakePolicy: func() core.Policy { panic("constructor failure") }},
+		{Cfg: cfg, Prof: prof, Policy: PolicyCBR, Opts: opts},
+	}
+
+	res := NewEngine(2).RunJobs(jobs)
+	if res[0].Err == nil {
+		t.Error("panicking job reported nil RunResult.Err")
+	}
+	if res[1].Err != nil {
+		t.Errorf("healthy job reported Err: %v", res[1].Err)
+	}
+	if direct := Run(cfg, prof, PolicyCBR, opts); !reflect.DeepEqual(res[1], direct) {
+		t.Error("healthy job's result differs from direct Run after a sibling panicked")
 	}
 }
 

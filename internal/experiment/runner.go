@@ -104,6 +104,11 @@ type RunResult struct {
 	Results   memctrl.Results
 	// RetentionErr is non-nil if the checker observed a violation.
 	RetentionErr error
+	// Err is non-nil when the job could not be simulated at all (the
+	// configuration or option combination was rejected); the remaining
+	// fields are meaningless then. Only Engine.RunJobs populates it —
+	// Engine.Run reports the same failures through its error return.
+	Err error
 }
 
 // RefreshesPerSecond returns refresh operations per measured second.

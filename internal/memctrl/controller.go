@@ -31,6 +31,11 @@ type Options struct {
 	// RetentionSlack widens the checked deadline; zero checks the exact
 	// refresh interval plus one refresh-op grace (see Controller docs).
 	RetentionSlack sim.Duration
+	// RetentionMap, when non-nil together with CheckRetention, scales each
+	// row's checked deadline by its retention-class multiplier — the
+	// invariant the retention-aware policy must satisfy instead of the
+	// uniform deadline.
+	RetentionMap *core.RetentionMap
 	// IdleClose precharges a bank whose page has been idle this long, so
 	// idle ranks can enter precharge power-down (the page-close timeout
 	// every open-page controller implements). Zero selects the default
@@ -113,10 +118,21 @@ func New(cfg config.DRAM, policy core.Policy, opts Options) (*Controller, error)
 	}
 	if opts.CheckRetention {
 		deadline := cfg.Timing.RefreshInterval + RetentionGrace + opts.RetentionSlack
-		c.checker = core.NewRetentionChecker(cfg.Geometry, deadline, 0)
+		if opts.RetentionMap != nil {
+			c.checker = core.NewRetentionCheckerWithMap(cfg.Geometry, deadline, 0, opts.RetentionMap)
+		} else {
+			c.checker = core.NewRetentionChecker(cfg.Geometry, deadline, 0)
+		}
 	}
 	if opts.SelfRefreshAfter > 0 {
-		if idleClose > 0 && opts.SelfRefreshAfter <= idleClose {
+		if idleClose < 0 {
+			// With idle page-closing disabled nothing ever precharges an
+			// idle bank, so a rank with an open page would re-arm its
+			// self-refresh deadline forever and never sleep.
+			return nil, fmt.Errorf("memctrl: SelfRefreshAfter %v requires idle page-closing; IdleClose %v disables it",
+				opts.SelfRefreshAfter, opts.IdleClose)
+		}
+		if opts.SelfRefreshAfter <= idleClose {
 			return nil, fmt.Errorf("memctrl: SelfRefreshAfter %v must exceed the page-close timeout %v",
 				opts.SelfRefreshAfter, idleClose)
 		}
@@ -317,15 +333,24 @@ func (c *Controller) AdvanceTo(t sim.Time) {
 }
 
 // Finish closes the simulation at time end: outstanding refreshes are
-// drained, module background accounting is flushed, and the retention
-// checker (if any) performs its end-of-run scan.
+// drained, ranks still asleep have their self-refresh residency reported
+// to the retention checker, module background accounting is flushed, and
+// the retention checker (if any) performs its end-of-run scan.
 func (c *Controller) Finish(end sim.Time) {
 	c.AdvanceTo(end)
+	c.finishSelfRefresh(end)
 	c.module.Finalize(end)
 	if c.checker != nil {
 		c.checker.CheckEnd(end)
 	}
 }
+
+// RefreshesDroppedSelfRefresh returns the number of policy refresh
+// commands elided because their rank was in self-refresh (the module's
+// internal engine covered them). PolicyStats.RefreshesRequested equals
+// ModuleStats.RefreshOps plus this count — an invariant internal/check
+// verifies across policies.
+func (c *Controller) RefreshesDroppedSelfRefresh() uint64 { return c.refreshesDroppedSR }
 
 // RetentionErr returns the retention checker verdict (nil without a
 // checker or without violations).

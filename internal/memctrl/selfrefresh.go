@@ -22,6 +22,7 @@ import (
 // srState tracks controller-side self-refresh state per rank.
 type srState struct {
 	lastDemand sim.Time
+	enteredAt  sim.Time // valid while active; drives checker coverage
 	active     bool
 }
 
@@ -79,11 +80,16 @@ func (c *Controller) enterSelfRefresh(t sim.Time, ri int) {
 			return
 		}
 	}
-	c.module.EnterSelfRefresh(t, channel, rank)
+	// The module clamps entry behind the rank's in-flight work (queued
+	// refreshes can extend past the idle deadline); the effective time
+	// drives the checker coverage so it never claims a span the rank
+	// spent executing commands.
+	entered := c.module.EnterSelfRefresh(t, channel, rank)
 	c.sr.ranks[ri].active = true
+	c.sr.ranks[ri].enteredAt = entered
 	// The internal engine keeps every row fresh; mark the handoff for the
 	// checker (see the transition-bound note above).
-	c.restoreRank(t, channel, rank)
+	c.restoreRank(entered, channel, rank)
 }
 
 // exitSelfRefresh wakes a rank for a demand access at time t.
@@ -96,7 +102,49 @@ func (c *Controller) exitSelfRefresh(t sim.Time, channel, rank int) {
 	c.sr.ranks[ri].active = false
 	c.sr.ranks[ri].lastDemand = t
 	// The engine refreshed throughout; rows are at most one interval old.
-	c.restoreRank(t, channel, rank)
+	c.coverSelfRefresh(c.sr.ranks[ri].enteredAt, t, channel, rank)
+}
+
+// coverSelfRefresh reports a rank's self-refresh residency [from, to] to
+// the retention checker as one whole-rank restore per refresh interval:
+// the module's internal walker refreshes every row once per interval
+// while the rank sleeps, so without this coverage any residency longer
+// than the checked deadline would be flagged as a (phantom) violation.
+// The walker's phase is invisible to the controller, which is why the
+// transition bound quoted above is two intervals, not one.
+func (c *Controller) coverSelfRefresh(from, to sim.Time, channel, rank int) {
+	if c.checker == nil {
+		return
+	}
+	interval := c.cfg.Timing.RefreshInterval
+	for t := from; ; t += interval {
+		if t > to {
+			t = to
+		}
+		c.restoreRank(t, channel, rank)
+		if t >= to {
+			return
+		}
+	}
+}
+
+// finishSelfRefresh reports the still-open residency of every sleeping
+// rank up to the end of simulation, so the checker's end-of-run scan does
+// not flag rows the module engine kept fresh. The ranks stay asleep; a
+// repeated Finish extends rather than double-counts the coverage.
+func (c *Controller) finishSelfRefresh(end sim.Time) {
+	if c.sr.after <= 0 {
+		return
+	}
+	g := c.cfg.Geometry
+	for ri := range c.sr.ranks {
+		st := &c.sr.ranks[ri]
+		if !st.active || st.enteredAt >= end {
+			continue
+		}
+		c.coverSelfRefresh(st.enteredAt, end, ri/g.Ranks, ri%g.Ranks)
+		st.enteredAt = end
+	}
 }
 
 // restoreRank reports a whole-rank restore to the retention checker only.
@@ -133,7 +181,11 @@ func (c *Controller) selfRefreshActive(channel, rank int) bool {
 	return c.sr.ranks[c.rankOf(channel, rank)].active
 }
 
-// SelfRefreshStats summarises controller-side self-refresh behaviour.
+// SelfRefreshStats summarises self-refresh behaviour as the module saw
+// it: Entries counts module-side mode entries and ResidencyPct is the
+// fraction of total rank-time the module spent in self-refresh (IDD6).
+// Both come from ModuleStats, so they are only current as of the last
+// Finish (or Module().Finalize) call.
 type SelfRefreshStats struct {
 	Entries      uint64
 	ResidencyPct float64 // of total rank-time, as of the last Finish

@@ -132,6 +132,53 @@ func TestSelfRefreshValidation(t *testing.T) {
 	}
 }
 
+func TestSelfRefreshRejectsDisabledIdleClose(t *testing.T) {
+	// Regression: with idle page-closing disabled (IdleClose < 0) a rank
+	// with an open page re-arms its self-refresh deadline forever and
+	// never sleeps; the combination must be rejected up front.
+	cfg := tinyConfig(64 * sim.Millisecond)
+	_, err := New(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), Options{
+		IdleClose:        -1,
+		SelfRefreshAfter: 500 * sim.Microsecond,
+	})
+	if err == nil {
+		t.Fatal("SelfRefreshAfter with IdleClose < 0 accepted")
+	}
+}
+
+func TestSelfRefreshLongResidencyRetention(t *testing.T) {
+	// A rank asleep for many refresh intervals is kept fresh by the
+	// module's internal engine; the checker must not flag the residency.
+	// (Before residency coverage this produced phantom violations as soon
+	// as the sleep outlasted the checked deadline plus slack.)
+	cfg := tinyConfig(4 * sim.Millisecond)
+	opts := Options{
+		CheckRetention:   true,
+		RetentionSlack:   8 * sim.Millisecond, // two-interval transition bound
+		SelfRefreshAfter: 500 * sim.Microsecond,
+	}
+	ctl := MustNew(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), opts)
+	// Sleep for 10 intervals, then wake with one access and finish.
+	wake := sim.Time(10 * cfg.RefreshInterval())
+	ctl.Submit(Request{Time: wake, Addr: 0})
+	end := wake + sim.Time(cfg.RefreshInterval())
+	ctl.Finish(end)
+	if err := ctl.RetentionErr(); err != nil {
+		t.Fatalf("retention after long exit: %v", err)
+	}
+
+	// And a rank that never wakes: finish mid-residency.
+	ctl2 := MustNew(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), opts)
+	end2 := sim.Time(10 * cfg.RefreshInterval())
+	ctl2.Finish(end2)
+	if err := ctl2.RetentionErr(); err != nil {
+		t.Fatalf("retention asleep at end of run: %v", err)
+	}
+	if got := ctl2.SelfRefreshStats(end2); got.ResidencyPct < 95 {
+		t.Errorf("residency %.1f%%, want ~100%%", got.ResidencyPct)
+	}
+}
+
 func TestSelfRefreshDisabledByDefault(t *testing.T) {
 	cfg := tinyConfig(64 * sim.Millisecond)
 	ctl := MustNew(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), Options{})

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzHistogramQuantile drives the histogram through arbitrary
+// observation streams and quantiles and checks the properties every
+// caller relies on: quantiles are finite (JSON-encodable), are valid
+// upper bounds clamped to the maximum observation, and are monotone in q.
+func FuzzHistogramQuantile(f *testing.F) {
+	f.Add(uint8(4), 2.0, 1.0, 100.0, 0.99)
+	f.Add(uint8(1), 0.5, -3.0, 1e12, 1.0)
+	f.Add(uint8(16), 1.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, buckets uint8, width, a, b, q float64) {
+		if buckets == 0 || width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
+			t.Skip()
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Skip()
+		}
+		if math.IsNaN(q) || q < 0 || q > 1 {
+			t.Skip()
+		}
+		h := NewHistogram(int(buckets), width)
+		h.Observe(a)
+		h.Observe(b)
+		h.Observe(a/2 + b/2)
+
+		v := h.Quantile(q)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) = %v, want finite", q, v)
+		}
+		if v > h.Max() {
+			t.Fatalf("Quantile(%v) = %v exceeds max observation %v", q, v, h.Max())
+		}
+		if top := h.Quantile(1); v > top {
+			t.Fatalf("Quantile(%v) = %v > Quantile(1) = %v, want monotone", q, v, top)
+		}
+		if _, err := json.Marshal(v); err != nil {
+			t.Fatalf("quantile %v not JSON-encodable: %v", v, err)
+		}
+	})
+}

@@ -28,10 +28,14 @@ func (c *Counter) Value() uint64 { return c.n }
 func (c *Counter) Reset() { c.n = 0 }
 
 // Sample accumulates a stream of float64 observations and reports moments.
+// Variance uses Welford's online algorithm: the sum-of-squares formula
+// cancels catastrophically when the mean is large relative to the spread
+// (nanosecond-scale latency timestamps are exactly that regime).
 type Sample struct {
 	n    uint64
 	sum  float64
-	sum2 float64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
 	min  float64
 	max  float64
 }
@@ -50,7 +54,9 @@ func (s *Sample) Observe(v float64) {
 	}
 	s.n++
 	s.sum += v
-	s.sum2 += v * v
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
 }
 
 // N returns the number of observations.
@@ -64,7 +70,7 @@ func (s *Sample) Mean() float64 {
 	if s.n == 0 {
 		return 0
 	}
-	return s.sum / float64(s.n)
+	return s.mean
 }
 
 // Min returns the smallest observation, or 0 with no observations.
@@ -78,8 +84,7 @@ func (s *Sample) StdDev() float64 {
 	if s.n == 0 {
 		return 0
 	}
-	m := s.Mean()
-	v := s.sum2/float64(s.n) - m*m
+	v := s.m2 / float64(s.n)
 	if v < 0 {
 		v = 0
 	}
@@ -124,6 +129,7 @@ type Histogram struct {
 	counts   []uint64
 	overflow uint64
 	total    uint64
+	max      float64 // largest observation, for overflow quantiles
 }
 
 // NewHistogram creates a histogram with the given bucket count and width.
@@ -136,6 +142,9 @@ func NewHistogram(buckets int, width float64) *Histogram {
 
 // Observe adds an observation. Negative values count in bucket 0.
 func (h *Histogram) Observe(v float64) {
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
 	h.total++
 	if v < 0 {
 		h.counts[0]++
@@ -158,8 +167,19 @@ func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
 // Overflow returns the count of observations beyond the last bucket.
 func (h *Histogram) Overflow() uint64 { return h.overflow }
 
+// Max returns the largest observation, or 0 with no observations.
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
 // Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
-// bucket upper edges. The overflow bucket reports +Inf.
+// bucket upper edges, clamped to the largest observation. The clamp keeps
+// quantiles that land in the overflow bucket finite (encoding/json rejects
+// +Inf, so an unclamped value would make any report carrying a P99
+// unserialisable) while remaining a valid upper bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -172,10 +192,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range h.counts {
 		cum += c
 		if cum >= target {
-			return float64(i+1) * h.width
+			return math.Min(float64(i+1)*h.width, h.max)
 		}
 	}
-	return math.Inf(1)
+	return h.max
 }
 
 // Series is a named list of (label, value) points — one per benchmark —

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -46,6 +47,25 @@ func TestSampleEmpty(t *testing.T) {
 	var s Sample
 	if s.Mean() != 0 || s.StdDev() != 0 {
 		t.Error("empty sample should report zero moments")
+	}
+}
+
+func TestSampleStdDevLargeOffset(t *testing.T) {
+	// Regression: the sum-of-squares variance formula cancels
+	// catastrophically when the mean dwarfs the spread — exactly the shape
+	// of nanosecond-scale latency values late in a long run. Welford's
+	// algorithm keeps full precision.
+	const offset = 1e15 // ~11.5 days in nanoseconds
+	var s Sample
+	for _, v := range []float64{offset + 1, offset + 2, offset + 3, offset + 4} {
+		s.Observe(v)
+	}
+	want := math.Sqrt(1.25)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("StdDev with offset %g = %v, want %v", offset, got, want)
+	}
+	if got := s.Mean(); math.Abs(got-(offset+2.5)) > 1e-3 {
+		t.Errorf("Mean with offset = %v", got)
 	}
 }
 
@@ -103,12 +123,39 @@ func TestHistogramQuantile(t *testing.T) {
 	if q := h.Quantile(0.5); q != 50 {
 		t.Errorf("Quantile(0.5) = %v, want 50", q)
 	}
-	if q := h.Quantile(1.0); q != 100 {
-		t.Errorf("Quantile(1.0) = %v, want 100", q)
+	// The top quantile is clamped to the largest observation (99), not the
+	// bucket edge (100).
+	if q := h.Quantile(1.0); q != 99 {
+		t.Errorf("Quantile(1.0) = %v, want 99", q)
 	}
 	h.Observe(1e9)
-	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
-		t.Errorf("Quantile(1.0) with overflow = %v, want +Inf", q)
+	if q := h.Quantile(1.0); q != 1e9 {
+		t.Errorf("Quantile(1.0) with overflow = %v, want the max observation 1e9", q)
+	}
+}
+
+func TestHistogramQuantileOverflowFinite(t *testing.T) {
+	// Regression: quantiles landing in the overflow bucket used to return
+	// +Inf, which encoding/json rejects, so any report surfacing a P99
+	// failed to encode.
+	h := NewHistogram(4, 1)
+	for i := 0; i < 100; i++ {
+		h.Observe(1e6)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v := h.Quantile(q)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) = %v, want finite", q, v)
+		}
+		if v != 1e6 {
+			t.Errorf("Quantile(%v) = %v, want the max observation 1e6", q, v)
+		}
+	}
+	if _, err := json.Marshal(map[string]float64{"p99": h.Quantile(0.99)}); err != nil {
+		t.Errorf("overflow quantile not JSON-encodable: %v", err)
+	}
+	if h.Max() != 1e6 {
+		t.Errorf("Max = %v, want 1e6", h.Max())
 	}
 }
 
