@@ -17,6 +17,9 @@
 //	experiments -figures fig6,fig7,fig8  # one configuration's sweep
 //	experiments -benchmarks fasta,gcc -figures fig12
 //	experiments -ablations               # only the ablation studies
+//	experiments -trace out.json          # Perfetto-loadable command trace
+//	experiments -metrics -               # metrics registry to stdout
+//	experiments -pprof localhost:6060    # live profiling endpoint
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"smartrefresh/internal/experiment"
 	"smartrefresh/internal/report"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 	"smartrefresh/internal/workload"
 )
 
@@ -49,6 +53,10 @@ func run(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines")
 	formatName := fs.String("format", "text", "figure output format: text, csv, markdown, json")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = serial)")
+	selfRefreshUS := fs.Int("selfrefresh-us", 0,
+		"arm controller self-refresh after this demand-idle time in us (0 = off; must exceed the 2us page-close timeout)")
+	var tf telemetry.Flags
+	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,8 +64,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := tf.Start(); err != nil {
+		return err
+	}
 
 	eng := experiment.NewEngine(*jobs)
+	eng.Trace = tf.Tracer()
+	eng.Metrics = tf.Registry()
 	if !*quiet {
 		eng.OnJobDone = func(ev experiment.JobEvent) {
 			if ev.Cached {
@@ -71,8 +84,9 @@ func run(args []string) error {
 	suite := experiment.NewSuite()
 	suite.Engine = eng
 	suite.Opts = experiment.RunOptions{
-		Warmup:  sim.Time(*warmupMS) * sim.Millisecond,
-		Measure: sim.Time(*measureMS) * sim.Millisecond,
+		Warmup:           sim.Time(*warmupMS) * sim.Millisecond,
+		Measure:          sim.Time(*measureMS) * sim.Millisecond,
+		SelfRefreshAfter: sim.Time(*selfRefreshUS) * sim.Microsecond,
 	}
 	if *benchmarks != "all" {
 		suite.Benchmarks = strings.Split(*benchmarks, ",")
@@ -111,7 +125,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	return nil
+	return tf.Finish()
 }
 
 func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {

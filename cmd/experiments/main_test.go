@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunOneFigureSubset(t *testing.T) {
 	err := run([]string{
@@ -28,5 +33,74 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-format", "xml"}); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// TestRunTraceAndMetricsOutputs drives a figure regeneration plus the
+// ablation studies with the telemetry flags and checks the trace holds
+// every command event type (the idle-power study arms self-refresh, so
+// residency spans appear), plus engine job spans, and that the metrics
+// dump is valid JSON.
+func TestRunTraceAndMetricsOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	err := run([]string{
+		"-figures", "fig6", "-benchmarks", "fasta,gcc", "-ablations",
+		"-warmup-ms", "16", "-measure-ms", "16", "-quiet",
+		"-trace", tracePath, "-metrics", metricsPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayUnit)
+	}
+	names := map[string]int{}
+	engineSpans := 0
+	for _, ev := range tf.TraceEvents {
+		names[ev.Name]++
+		if ev.Cat == "engine" && ev.Ph == "X" {
+			engineSpans++
+		}
+	}
+	for _, want := range []string{
+		"ACT", "PRE", "READ", "WRITE",
+		"REF-RAS", "REF-CBR", "SELF-REF", "IDLE-CLOSE",
+	} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %s events (have %v)", want, names)
+		}
+	}
+	if engineSpans == 0 {
+		t.Error("trace has no engine job spans")
+	}
+
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(mdata, &rows); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Error("metrics dump is empty")
 	}
 }

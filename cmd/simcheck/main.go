@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"smartrefresh/internal/check"
+	"smartrefresh/internal/telemetry"
 )
 
 func main() {
@@ -39,11 +40,17 @@ func run(args []string, w io.Writer) int {
 	workers := fs.Int("workers", 0, "concurrent scenario checks (0: one per CPU)")
 	presets := fs.Bool("presets", true, "also check the vetted configuration presets")
 	verbose := fs.Bool("v", false, "describe every scenario, not just the dirty ones")
+	var tf telemetry.Flags
+	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *seeds < 0 {
 		fmt.Fprintln(w, "simcheck: -seeds must be >= 0")
+		return 2
+	}
+	if err := tf.Start(); err != nil {
+		fmt.Fprintln(w, "simcheck:", err)
 		return 2
 	}
 
@@ -55,7 +62,7 @@ func run(args []string, w io.Writer) int {
 		scenarios = append(scenarios, check.PresetScenarios()...)
 	}
 
-	reports := checkAll(scenarios, *workers)
+	reports := checkAll(scenarios, *workers, &tf)
 
 	var violations, dirty int
 	for _, rep := range reports {
@@ -73,6 +80,10 @@ func run(args []string, w io.Writer) int {
 
 	fmt.Fprintf(w, "simcheck: %d scenarios, %d dirty, %d violations\n",
 		len(reports), dirty, violations)
+	if err := tf.Finish(); err != nil {
+		fmt.Fprintln(w, "simcheck:", err)
+		return 2
+	}
 	if violations > 0 {
 		return 1
 	}
@@ -80,18 +91,20 @@ func run(args []string, w io.Writer) int {
 }
 
 // checkAll evaluates the scenarios across a worker pool; the report
-// order matches the scenario order regardless of worker count.
-func checkAll(scenarios []check.Scenario, workers int) []check.Report {
+// order matches the scenario order regardless of worker count. The
+// telemetry sinks are internally synchronised, so workers share them.
+func checkAll(scenarios []check.Scenario, workers int, tf *telemetry.Flags) []check.Report {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(scenarios) {
 		workers = len(scenarios)
 	}
+	tr, reg := tf.Tracer(), tf.Registry()
 	out := make([]check.Report, len(scenarios))
 	if workers <= 1 {
 		for i, sc := range scenarios {
-			out[i] = check.CheckScenario(sc)
+			out[i] = check.CheckScenarioTraced(sc, tr, reg)
 		}
 		return out
 	}
@@ -102,7 +115,7 @@ func checkAll(scenarios []check.Scenario, workers int) []check.Report {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = check.CheckScenario(scenarios[i])
+				out[i] = check.CheckScenarioTraced(scenarios[i], tr, reg)
 			}
 		}()
 	}

@@ -21,6 +21,7 @@ import (
 	"smartrefresh/internal/experiment"
 	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 	"smartrefresh/internal/trace"
 	"smartrefresh/internal/workload"
 )
@@ -43,6 +44,10 @@ func run(args []string) error {
 	check := fs.Bool("check", false, "verify the retention invariant during the run")
 	selfRefreshUS := fs.Int("selfrefresh-us", 0, "enter module self-refresh after this demand-idle time (0 = off)")
 	list := fs.Bool("list", false, "list benchmarks and presets, then exit")
+	// -trace is taken by access-trace replay, so the telemetry trace
+	// output is -trace-out here.
+	var tf telemetry.Flags
+	tf.RegisterNamed(fs, "trace-out", "metrics", "pprof")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +56,9 @@ func run(args []string) error {
 		fmt.Println("presets:   ", strings.Join(presetNames(), ", "))
 		fmt.Println("benchmarks:", strings.Join(workload.Names(), ", "))
 		return nil
+	}
+	if err := tf.Start(); err != nil {
+		return err
 	}
 
 	cfg, ok := config.Presets()[*cfgName]
@@ -65,7 +73,7 @@ func run(args []string) error {
 		SelfRefreshAfter: sim.Time(*selfRefreshUS) * sim.Microsecond,
 	}
 	if *policyName == "smart-retention" {
-		return runRetentionAware(cfg, *benchmark, opts)
+		return runRetentionAware(cfg, *benchmark, opts, &tf)
 	}
 	kind, err := parsePolicy(*policyName)
 	if err != nil {
@@ -73,16 +81,22 @@ func run(args []string) error {
 	}
 
 	if *tracePath != "" {
-		return runTrace(cfg, kind, *tracePath, opts)
+		return runTrace(cfg, kind, *tracePath, opts, &tf)
 	}
 
 	prof, err := workload.ByName(*benchmark)
 	if err != nil {
 		return err
 	}
-	res := experiment.Run(cfg, prof, kind, opts)
+	eng := experiment.NewEngine(1)
+	eng.Trace = tf.Tracer()
+	eng.Metrics = tf.Registry()
+	res := eng.RunJobs([]experiment.Job{{Cfg: cfg, Prof: prof, Policy: kind, Opts: opts}})[0]
+	if res.Err != nil {
+		return res.Err
+	}
 	printResults(cfg, res.Results, opts.Measure, res.RetentionErr)
-	return nil
+	return tf.Finish()
 }
 
 func presetNames() []string {
@@ -113,7 +127,7 @@ func parsePolicy(name string) (experiment.PolicyKind, error) {
 
 // runRetentionAware runs the retention-aware extension policy, which the
 // experiment harness does not cover by PolicyKind.
-func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOptions) error {
+func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOptions, tf *telemetry.Flags) error {
 	prof, err := workload.ByName(benchmark)
 	if err != nil {
 		return err
@@ -124,6 +138,8 @@ func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOpt
 	ctl, err := memctrl.New(cfg, policy, memctrl.Options{
 		CheckRetention:   opts.CheckRetention,
 		SelfRefreshAfter: opts.SelfRefreshAfter,
+		Trace:            tf.Tracer(),
+		Metrics:          tf.Registry(),
 	})
 	if err != nil {
 		return err
@@ -139,11 +155,11 @@ func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOpt
 	}
 	ctl.Finish(end)
 	printResults(cfg, ctl.Results(end), end, ctl.RetentionErr())
-	return nil
+	return tf.Finish()
 }
 
 // runTrace replays a trace file directly against the controller.
-func runTrace(cfg config.DRAM, kind experiment.PolicyKind, path string, opts experiment.RunOptions) error {
+func runTrace(cfg config.DRAM, kind experiment.PolicyKind, path string, opts experiment.RunOptions, tf *telemetry.Flags) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -167,7 +183,11 @@ func runTrace(cfg config.DRAM, kind experiment.PolicyKind, path string, opts exp
 	}
 
 	policy := experiment.NewPolicy(cfg, kind)
-	ctl, err := memctrl.New(cfg, policy, memctrl.Options{CheckRetention: opts.CheckRetention})
+	ctl, err := memctrl.New(cfg, policy, memctrl.Options{
+		CheckRetention: opts.CheckRetention,
+		Trace:          tf.Tracer(),
+		Metrics:        tf.Registry(),
+	})
 	if err != nil {
 		return err
 	}
@@ -186,7 +206,7 @@ func runTrace(cfg config.DRAM, kind experiment.PolicyKind, path string, opts exp
 	end += cfg.Timing.RefreshInterval
 	ctl.Finish(end)
 	printResults(cfg, ctl.Results(end), end, ctl.RetentionErr())
-	return nil
+	return tf.Finish()
 }
 
 func printResults(cfg config.DRAM, res memctrl.Results, window sim.Duration, retErr error) {

@@ -34,6 +34,7 @@ import (
 	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/power"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 	"smartrefresh/internal/workload"
 )
 
@@ -157,8 +158,9 @@ func policyCases(sc Scenario) []policyCase {
 }
 
 // runPolicy executes one policy over the scenario, converting panics
-// into a recorded failure instead of crashing the harness.
-func runPolicy(sc Scenario, pc policyCase) (run PolicyRun) {
+// into a recorded failure instead of crashing the harness. The
+// telemetry sinks may be nil (the disabled path).
+func runPolicy(sc Scenario, pc policyCase, tr *telemetry.Tracer, reg *telemetry.Registry) (run PolicyRun) {
 	run.Policy = pc.name
 	defer func() {
 		if r := recover(); r != nil {
@@ -172,6 +174,9 @@ func runPolicy(sc Scenario, pc policyCase) (run PolicyRun) {
 		RetentionMap:     pc.retMap,
 		SelfRefreshAfter: sc.SelfRefreshAfter,
 		IdleClose:        sc.IdleClose,
+		Trace:            tr,
+		Metrics:          reg,
+		MetricsPrefix:    sc.Name + "/" + pc.name,
 	})
 	if err != nil {
 		run.Panic = "construct: " + err.Error()
@@ -199,7 +204,15 @@ func runPolicy(sc Scenario, pc policyCase) (run PolicyRun) {
 
 // CheckScenario runs every policy (twice, for the determinism check)
 // and evaluates all invariants.
-func CheckScenario(sc Scenario) Report {
+func CheckScenario(sc Scenario) Report { return CheckScenarioTraced(sc, nil, nil) }
+
+// CheckScenarioTraced is CheckScenario with telemetry attached to the
+// first run of each policy: every DRAM command lands in tr and each
+// controller's metrics register into reg under "<scenario>/<policy>".
+// The determinism rerun deliberately runs without telemetry, so the
+// comparison also proves tracing does not perturb simulated results.
+// Both sinks may be nil.
+func CheckScenarioTraced(sc Scenario, tr *telemetry.Tracer, reg *telemetry.Registry) Report {
 	rep := Report{Scenario: sc}
 	add := func(policy, invariant, format string, args ...any) {
 		rep.Violations = append(rep.Violations, Violation{
@@ -212,8 +225,8 @@ func CheckScenario(sc Scenario) Report {
 
 	byName := map[string]PolicyRun{}
 	for _, pc := range policyCases(sc) {
-		run := runPolicy(sc, pc)
-		if rerun := runPolicy(sc, pc); !reflect.DeepEqual(run, rerun) {
+		run := runPolicy(sc, pc, tr, reg)
+		if rerun := runPolicy(sc, pc, nil, nil); !reflect.DeepEqual(run, rerun) {
 			add(pc.name, "determinism", "rerun differs:\n first: %+v\nsecond: %+v", run, rerun)
 		}
 		rep.Runs = append(rep.Runs, run)

@@ -5,6 +5,7 @@ import (
 
 	"smartrefresh/internal/dram"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 )
 
 // SmartConfig parameterises the Smart Refresh policy. The zero value is
@@ -112,6 +113,10 @@ type Smart struct {
 	disabledSince  sim.Time
 	cbr            *CBR // delegate used while disabled
 
+	// trace, when non-nil, receives one instant event per section 4.6
+	// mode switch (nil-scope no-op when telemetry is disabled).
+	trace *telemetry.Scope
+
 	stats PolicyStats
 }
 
@@ -146,6 +151,11 @@ func NewSmart(g dram.Geometry, interval sim.Duration, cfg SmartConfig) *Smart {
 
 // Name implements Policy.
 func (s *Smart) Name() string { return "smart" }
+
+// SetTraceScope attaches a telemetry scope; the policy marks its section
+// 4.6 disable/enable transitions as instant events on it. A nil scope
+// (telemetry disabled) keeps the hook free.
+func (s *Smart) SetTraceScope(sc *telemetry.Scope) { s.trace = sc }
 
 // Config returns the policy configuration.
 func (s *Smart) Config() SmartConfig { return s.cfg }
@@ -320,10 +330,12 @@ func (s *Smart) maybeSwitchMode(now sim.Time) {
 			s.disabled = true
 			s.disabledSince = boundary
 			s.stats.DisableSwitches++
+			s.trace.Instant("smart-disable", 0, boundary)
 			// Hand the refresh schedule to CBR from the boundary on.
 			s.cbr.Reset(boundary)
 		} else if s.disabled && density > s.cfg.EnableAbove {
 			s.disabled = false
+			s.trace.Instant("smart-enable", 0, boundary)
 			s.stats.EnableSwitches++
 			s.stats.TimeDisabled += boundary - s.disabledSince
 			// Re-enter Smart mode. The controller does not know the phase

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 )
 
 // RefreshKind distinguishes the two refresh command styles (section 3 of
@@ -221,6 +222,11 @@ type Module struct {
 	// until its next activate. Energy-only: the small exit latency (tXP,
 	// about two clocks) is not modelled in command timing.
 	pdAfter sim.Duration
+
+	// trace, when non-nil, receives one timeline event per DRAM command
+	// (ACT/PRE/READ/WRITE and both refresh kinds) on the flat-bank
+	// thread. The nil check is the entire disabled-path cost.
+	trace *telemetry.Scope
 }
 
 // NewModule constructs a module; it panics on invalid configuration
@@ -256,6 +262,29 @@ func NewModule(g Geometry, t Timing) *Module {
 	}
 	return m
 }
+
+// SetTraceScope attaches a command tracer to the module and labels one
+// trace thread per flat bank. A nil scope disables tracing (the
+// default). Call before simulation starts.
+func (m *Module) SetTraceScope(s *telemetry.Scope) {
+	m.trace = s
+	if s == nil {
+		return
+	}
+	for ch := 0; ch < m.geom.Channels; ch++ {
+		for rk := 0; rk < m.geom.Ranks; rk++ {
+			for b := 0; b < m.geom.Banks; b++ {
+				id := BankID{Channel: ch, Rank: rk, Bank: b}
+				s.NameThread(id.Flat(m.geom), fmt.Sprintf("ch%d/rk%d/bk%d", ch, rk, b))
+			}
+		}
+	}
+}
+
+// TraceScope returns the attached command tracer scope (nil when
+// tracing is disabled), so the owning controller can emit its own
+// events onto the same process.
+func (m *Module) TraceScope() *telemetry.Scope { return m.trace }
 
 // SetPowerDown arms the explicit precharge power-down state machine: a
 // rank with every bank closed for the given duration enters power-down
@@ -382,6 +411,9 @@ func (m *Module) Access(t sim.Time, addr Address, write bool) AccessResult {
 		cas = m.clk.Next(act + m.tim.TRCD)
 		res.OpenedRow, res.OpenedRowSet = addr.RowID, true
 		res.ActivateAt = act
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdActivate, bi, addr.Row, act, cas)
+		}
 	default:
 		// Conflict: close the open page (restoring its cells), then
 		// activate the requested row.
@@ -390,6 +422,9 @@ func (m *Module) Access(t sim.Time, addr Address, write bool) AccessResult {
 		pre := m.clk.Next(sim.Max(issue, b.prechargeOKAt))
 		res.ClosedRow = RowID{Channel: addr.Channel, Rank: addr.Rank, Bank: addr.Bank, Row: b.openRow}
 		res.ClosedRowSet = true
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdPrecharge, bi, b.openRow, pre, pre+m.tim.TRP)
+		}
 		m.closeBank(b, ri, pre)
 		m.stats.Precharges++
 		act := sim.Max(pre+m.tim.TRP, b.activateOKAt)
@@ -403,6 +438,9 @@ func (m *Module) Access(t sim.Time, addr Address, write bool) AccessResult {
 		cas = m.clk.Next(act + m.tim.TRCD)
 		res.OpenedRow, res.OpenedRowSet = addr.RowID, true
 		res.ActivateAt = act
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdActivate, bi, addr.Row, act, cas)
+		}
 	}
 
 	burst := m.tim.BurstDuration(m.geom.BurstLength)
@@ -418,9 +456,15 @@ func (m *Module) Access(t sim.Time, addr Address, write bool) AccessResult {
 	if write {
 		m.stats.Writes++
 		b.prechargeOKAt = sim.Max(b.prechargeOKAt, dataDone+m.tim.TWR)
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdWrite, bi, addr.Row, dataStart, dataDone)
+		}
 	} else {
 		m.stats.Reads++
 		b.prechargeOKAt = sim.Max(b.prechargeOKAt, cas+m.tim.TRTP)
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdRead, bi, addr.Row, dataStart, dataDone)
+		}
 	}
 	m.stats.Accesses++
 	m.observe(dataDone)
@@ -473,6 +517,9 @@ func (m *Module) refresh(t sim.Time, row RowID, kind RefreshKind) RefreshResult 
 		res.ClosedOpenRow = true
 		res.ClosedRow = RowID{Channel: row.Channel, Rank: row.Rank, Bank: row.Bank, Row: b.openRow}
 		pre := m.clk.Next(sim.Max(issue, b.prechargeOKAt))
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdPrecharge, bi, b.openRow, pre, pre+m.tim.TRP)
+		}
 		m.closeBank(b, ri, pre)
 		m.stats.Precharges++
 		m.stats.RefreshConflictOps++
@@ -497,8 +544,14 @@ func (m *Module) refresh(t sim.Time, row RowID, kind RefreshKind) RefreshResult 
 	switch kind {
 	case RefreshCBR:
 		m.stats.RefreshCBROps++
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdRefreshCBR, bi, row.Row, start, done)
+		}
 	case RefreshRASOnly:
 		m.stats.RefreshRASOnlyOps++
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdRefreshRASOnly, bi, row.Row, start, done)
+		}
 	}
 	m.observe(done)
 	return res

@@ -9,6 +9,7 @@ import (
 
 	"smartrefresh/internal/config"
 	"smartrefresh/internal/core"
+	"smartrefresh/internal/telemetry"
 	"smartrefresh/internal/trace"
 	"smartrefresh/internal/workload"
 )
@@ -112,11 +113,23 @@ type Engine struct {
 	OnJobStart func(JobEvent)
 	OnJobDone  func(JobEvent)
 
+	// Trace, when non-nil, records every simulated job's DRAM commands
+	// (one scope per job) plus a wall-clock span per job on the engine
+	// process row. Telemetry lives on the engine — not in RunOptions —
+	// so RunSpec stays comparable and the memo keys are unaffected.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, has every job's controller metrics (under
+	// "<config>/<benchmark>/<policy>/...") and the engine's own counters
+	// registered into it. Memoised re-runs replace rather than duplicate
+	// their rows.
+	Metrics *telemetry.Registry
+
 	mu    sync.Mutex
 	memo  map[RunSpec]*memoEntry
 	stats EngineStats
 
-	hookMu sync.Mutex
+	hookMu      sync.Mutex
+	metricsOnce sync.Once
 }
 
 // memoEntry is a singleflight slot: the first claimant simulates and
@@ -139,6 +152,22 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
+}
+
+// registerEngineMetrics publishes the engine's own counters into the
+// configured registry, once, on first job submission.
+func (e *Engine) registerEngineMetrics() {
+	// The nil check stays outside the Once so the disabled path costs a
+	// pointer compare, not a closure allocation per job.
+	if e.Metrics == nil {
+		return
+	}
+	e.metricsOnce.Do(func() {
+		e.Metrics.RegisterGauge("engine/jobs_started", func() float64 { return float64(e.Stats().Started) })
+		e.Metrics.RegisterGauge("engine/jobs_finished", func() float64 { return float64(e.Stats().Finished) })
+		e.Metrics.RegisterGauge("engine/cache_hits", func() float64 { return float64(e.Stats().CacheHits) })
+		e.Metrics.RegisterGauge("engine/sim_wall_seconds", func() float64 { return e.Stats().SimWall.Seconds() })
+	})
 }
 
 // Run returns the result for one spec, simulating it at most once per
@@ -167,7 +196,9 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 	e.stats.Started++
 	e.mu.Unlock()
 
+	e.registerEngineMetrics()
 	e.emit(e.OnJobStart, spec.Config.String(), spec.Benchmark, spec.Policy, false, 0)
+	jobStart := e.Trace.JobStart()
 	start := time.Now()
 	func() {
 		// Close done even if the simulation panics (e.g. an option
@@ -179,10 +210,23 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 			}
 			close(ent.done)
 		}()
-		ent.res = Run(spec.Config.DRAM(), prof, spec.Policy, spec.Opts)
+		cfg := spec.Config.DRAM()
+		ent.res = execute(runJob{
+			cfg:       cfg,
+			benchmark: spec.Benchmark,
+			kind:      spec.Policy,
+			policy:    NewPolicy(cfg, spec.Policy),
+			source:    prof.NewSource(spec.Opts.Stacked),
+			opts:      spec.Opts, // normalize() already applied defaults
+			trace:     e.Trace,
+			metrics:   e.Metrics,
+		})
 	}()
 	wall := time.Since(start)
 
+	if e.Trace.Enabled() {
+		e.Trace.JobSpan(spec.Config.String()+"/"+spec.Benchmark+"/"+spec.Policy.String(), jobStart, wall)
+	}
 	e.finish(wall)
 	e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, false, wall)
 	return ent.res, ent.err
@@ -230,8 +274,10 @@ func (e *Engine) runJob(job Job) RunResult {
 	e.mu.Lock()
 	e.stats.Started++
 	e.mu.Unlock()
+	e.registerEngineMetrics()
 	e.emit(e.OnJobStart, job.Cfg.Name, job.Prof.Name, job.Policy, false, 0)
 
+	jobStart := e.Trace.JobStart()
 	start := time.Now()
 	var res RunResult
 	func() {
@@ -256,10 +302,15 @@ func (e *Engine) runJob(job Job) RunResult {
 			policy:    policy(),
 			source:    source(),
 			opts:      opts,
+			trace:     e.Trace,
+			metrics:   e.Metrics,
 		})
 	}()
 	wall := time.Since(start)
 
+	if e.Trace.Enabled() {
+		e.Trace.JobSpan(job.Cfg.Name+"/"+job.Prof.Name+"/"+job.Policy.String(), jobStart, wall)
+	}
 	e.finish(wall)
 	e.emit(e.OnJobDone, job.Cfg.Name, job.Prof.Name, job.Policy, false, wall)
 	return res

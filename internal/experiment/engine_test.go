@@ -1,13 +1,16 @@
 package experiment
 
 import (
+	"bytes"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"smartrefresh/internal/core"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 	"smartrefresh/internal/workload"
 )
 
@@ -300,5 +303,75 @@ func TestEngineHooks(t *testing.T) {
 	}
 	if done != 3 || cached != 1 {
 		t.Errorf("done events = %d (cached %d), want 3 with 1 cached", done, cached)
+	}
+}
+
+// TestEngineTelemetry runs a spec and a raw job through an instrumented
+// engine and checks that the tracer sees job spans plus DRAM command
+// events, that the registry holds both controller and engine rows, and
+// that telemetry does not perturb the simulated results.
+func TestEngineTelemetry(t *testing.T) {
+	tr := telemetry.NewTracer()
+	reg := telemetry.NewRegistry()
+	eng := NewEngine(2)
+	eng.Trace = tr
+	eng.Metrics = reg
+
+	spec := RunSpec{Config: Conv2GB, Benchmark: "gcc", Policy: PolicySmart, Opts: engineOpts()}
+	traced, err := eng.Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	prof, _ := workload.ByName("fasta")
+	jobRes := eng.RunJobs([]Job{{Cfg: Conv2GB.DRAM(), Prof: prof, Policy: PolicyCBR, Opts: engineOpts()}})
+	if jobRes[0].Err != nil {
+		t.Fatalf("RunJobs: %v", jobRes[0].Err)
+	}
+
+	plain, err := NewEngine(1).Run(spec)
+	if err != nil {
+		t.Fatalf("plain Run: %v", err)
+	}
+	if !reflect.DeepEqual(traced, plain) {
+		t.Errorf("telemetry changed results:\n traced: %+v\n  plain: %+v", traced, plain)
+	}
+
+	if tr.CommandCount(telemetry.CmdActivate) == 0 ||
+		tr.CommandCount(telemetry.CmdRead) == 0 ||
+		tr.CommandCount(telemetry.CmdRefreshRASOnly) == 0 {
+		t.Error("trace missing demand/refresh command events")
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2GB/gcc/smart", "table1-2gb/fasta/cbr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing job span %q", want)
+		}
+	}
+
+	names := map[string]bool{}
+	for _, m := range reg.SortedSnapshot() {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"engine/jobs_started", "engine/cache_hits",
+		"table1-2gb/gcc/smart/requests", "table1-2gb/gcc/smart/latency_ns",
+		"table1-2gb/fasta/cbr/refresh_ops",
+	} {
+		if !names[want] {
+			t.Errorf("registry missing %q (have %d rows)", want, len(names))
+		}
+	}
+
+	// A memoised re-run must not duplicate registry rows.
+	before := len(reg.SortedSnapshot())
+	if _, err := eng.Run(spec); err != nil {
+		t.Fatalf("re-run: %v", err)
+	}
+	if after := len(reg.SortedSnapshot()); after != before {
+		t.Errorf("memoised re-run grew registry from %d to %d rows", before, after)
 	}
 }

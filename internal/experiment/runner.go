@@ -12,6 +12,7 @@ import (
 	"smartrefresh/internal/core"
 	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 	"smartrefresh/internal/trace"
 	"smartrefresh/internal/workload"
 )
@@ -136,6 +137,8 @@ func Run(cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOption
 // runJob is one fully-resolved simulation: a configuration, a policy
 // instance, an access stream and the measurement window. Every field is
 // owned by this job alone, so jobs are safe to execute concurrently.
+// The telemetry sinks are the exception — they are shared across jobs
+// and internally synchronised (both no-op when nil).
 type runJob struct {
 	cfg       config.DRAM
 	benchmark string
@@ -143,6 +146,9 @@ type runJob struct {
 	policy    core.Policy
 	source    trace.Source
 	opts      RunOptions // defaults already applied
+
+	trace   *telemetry.Tracer
+	metrics *telemetry.Registry
 }
 
 // execute drives one job's stream through a fresh controller. The warmup
@@ -151,10 +157,16 @@ type runJob struct {
 // before the results are read.
 func execute(j runJob) RunResult {
 	opts := j.opts
-	ctl := memctrl.MustNew(j.cfg, j.policy, memctrl.Options{
+	mcOpts := memctrl.Options{
 		CheckRetention:   opts.CheckRetention,
 		SelfRefreshAfter: opts.SelfRefreshAfter,
-	})
+	}
+	if j.trace != nil || j.metrics != nil {
+		mcOpts.Trace = j.trace
+		mcOpts.Metrics = j.metrics
+		mcOpts.MetricsPrefix = j.cfg.Name + "/" + j.benchmark + "/" + j.kind.String()
+	}
+	ctl := memctrl.MustNew(j.cfg, j.policy, mcOpts)
 
 	end := opts.Warmup + opts.Measure
 

@@ -9,6 +9,7 @@ import (
 	"smartrefresh/internal/power"
 	"smartrefresh/internal/sim"
 	"smartrefresh/internal/stats"
+	"smartrefresh/internal/telemetry"
 )
 
 // Request is one demand memory transaction presented to the controller.
@@ -46,6 +47,17 @@ type Options struct {
 	// page-close timeout. The policy's refreshes to that rank are covered
 	// internally while it sleeps.
 	SelfRefreshAfter sim.Duration
+	// Trace, when non-nil, records every DRAM command (demand ACT/PRE/
+	// READ/WRITE, both refresh kinds, idle page-closes and self-refresh
+	// residency spans) into the tracer under one scope per controller.
+	// Nil — the default — keeps the hot paths at a pointer compare.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, has the controller's counters and latency
+	// histogram registered into it under MetricsPrefix.
+	Metrics *telemetry.Registry
+	// MetricsPrefix namespaces this controller's metrics; empty derives
+	// "<config>/<policy>".
+	MetricsPrefix string
 }
 
 // DefaultIdleClose is the default page-close timeout.
@@ -81,6 +93,10 @@ type Controller struct {
 	bankLastUse []sim.Time   // per flat bank: last demand activity
 
 	sr selfRefreshController
+
+	// trace is the controller's telemetry scope (shared with the module);
+	// nil when tracing is disabled.
+	trace *telemetry.Scope
 
 	// refreshesDroppedSR counts policy refresh commands elided because
 	// their rank was in self-refresh.
@@ -124,6 +140,30 @@ func New(cfg config.DRAM, policy core.Policy, opts Options) (*Controller, error)
 			c.checker = core.NewRetentionChecker(cfg.Geometry, deadline, 0)
 		}
 	}
+	if opts.Trace != nil {
+		prefix := opts.MetricsPrefix
+		if prefix == "" {
+			prefix = cfg.Name + "/" + policy.Name()
+		}
+		c.trace = opts.Trace.Scope(prefix)
+		c.module.SetTraceScope(c.trace)
+		// Rank-residency spans (self-refresh) get their own thread rows
+		// after the per-bank rows; see rankTid.
+		g := cfg.Geometry
+		for ch := 0; ch < g.Channels; ch++ {
+			for rk := 0; rk < g.Ranks; rk++ {
+				c.trace.NameThread(c.rankTid(ch*g.Ranks+rk), fmt.Sprintf("ch%d/rk%d (rank)", ch, rk))
+			}
+		}
+		if sp, ok := policy.(interface {
+			SetTraceScope(*telemetry.Scope)
+		}); ok {
+			sp.SetTraceScope(c.trace)
+		}
+	}
+	if opts.Metrics != nil {
+		c.registerMetrics(opts.Metrics, opts.MetricsPrefix)
+	}
 	if opts.SelfRefreshAfter > 0 {
 		if idleClose < 0 {
 			// With idle page-closing disabled nothing ever precharges an
@@ -150,6 +190,36 @@ func MustNew(cfg config.DRAM, policy core.Policy, opts Options) *Controller {
 		panic(err)
 	}
 	return c
+}
+
+// rankTid maps a flat rank index onto the trace thread rows reserved
+// after the per-bank rows.
+func (c *Controller) rankTid(ri int) int {
+	return c.cfg.Geometry.TotalBanks() + ri
+}
+
+// registerMetrics publishes the controller's counters, the latency
+// histogram and snapshot gauges over module/policy statistics under
+// prefix (default "<config>/<policy>"). The gauges read live state, so
+// dump metrics only after the run has finished.
+func (c *Controller) registerMetrics(reg *telemetry.Registry, prefix string) {
+	if prefix == "" {
+		prefix = c.cfg.Name + "/" + c.policy.Name()
+	}
+	reg.RegisterCounter(prefix+"/requests", &c.requests)
+	reg.RegisterCounter(prefix+"/row_hits", &c.rowHits)
+	reg.RegisterHistogram(prefix+"/latency_ns", c.latencyHist)
+	reg.RegisterGauge(prefix+"/refresh_ops", func() float64 { return float64(c.module.Stats().RefreshOps) })
+	reg.RegisterGauge(prefix+"/refresh_cbr_ops", func() float64 { return float64(c.module.Stats().RefreshCBROps) })
+	reg.RegisterGauge(prefix+"/refresh_rasonly_ops", func() float64 { return float64(c.module.Stats().RefreshRASOnlyOps) })
+	reg.RegisterGauge(prefix+"/refresh_conflict_ops", func() float64 { return float64(c.module.Stats().RefreshConflictOps) })
+	reg.RegisterGauge(prefix+"/demand_stall_ns", func() float64 { return c.module.Stats().DemandStall.Nanoseconds() })
+	reg.RegisterGauge(prefix+"/selfrefresh_entries", func() float64 { return float64(c.module.Stats().SelfRefreshEntries) })
+	reg.RegisterGauge(prefix+"/refreshes_dropped_selfrefresh", func() float64 { return float64(c.refreshesDroppedSR) })
+	reg.RegisterGauge(prefix+"/policy_refreshes_requested", func() float64 { return float64(c.policy.Stats().RefreshesRequested) })
+	reg.RegisterGauge(prefix+"/policy_counter_reads", func() float64 { return float64(c.policy.Stats().CounterReads) })
+	reg.RegisterGauge(prefix+"/policy_counter_writes", func() float64 { return float64(c.policy.Stats().CounterWrites) })
+	reg.RegisterGauge(prefix+"/policy_max_pending_per_tick", func() float64 { return float64(c.policy.Stats().MaxPendingPerTick) })
 }
 
 // Module exposes the underlying DRAM model.
@@ -221,8 +291,16 @@ func (c *Controller) closeIdleBank(deadline sim.Time, flat int) {
 	}
 	if row, closed := c.module.PrechargeBank(deadline, bank); closed {
 		c.restore(deadline, row)
+		if c.trace != nil {
+			c.trace.Command(telemetry.CmdIdleClose, flat, row.Row, deadline, deadline+c.cfg.Timing.TRP)
+		}
+		// Re-arm only on an actual close: the bank stays precharged until
+		// the next demand access refreshes bankLastUse. Re-arming when the
+		// module reports not-closed would invent a future deadline for a
+		// bank that was already closed (e.g. by a conflicting refresh) and
+		// could mask its rank's self-refresh idleness.
+		c.bankLastUse[flat] = deadline
 	}
-	c.bankLastUse[flat] = deadline // re-arm; bank is closed until next use
 }
 
 // runRefreshTick advances the policy through one tick at time due and

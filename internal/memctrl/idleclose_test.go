@@ -1,0 +1,98 @@
+package memctrl
+
+import (
+	"testing"
+
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
+)
+
+// Regression: closeIdleBank used to re-arm bankLastUse even when the
+// module reported the bank was already closed, inventing a future
+// page-close deadline for a precharged bank.
+func TestCloseIdleBankNoRearmWhenNotClosed(t *testing.T) {
+	cfg := tinyConfig(64 * sim.Millisecond)
+	ctl := MustNew(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), Options{})
+
+	deadline := sim.Time(5 * sim.Microsecond)
+	// Bank 0 has no open page: the close must be a no-op, including the
+	// last-use re-arm.
+	ctl.closeIdleBank(deadline, 0)
+	if got := ctl.bankLastUse[0]; got != 0 {
+		t.Errorf("bankLastUse re-armed to %v on a not-closed bank, want 0", got)
+	}
+
+	// With an open page the close precharges the bank and re-arms.
+	bank := dram.BankID{Channel: 0, Rank: 0, Bank: 0}
+	ctl.module.Access(0, dram.Address{RowID: dram.RowID{Row: 3}, Column: 0}, false)
+	if ctl.module.OpenRow(bank) != 3 {
+		t.Fatal("setup: page not open")
+	}
+	ctl.closeIdleBank(deadline, 0)
+	if ctl.module.OpenRow(bank) != -1 {
+		t.Error("closeIdleBank left the page open")
+	}
+	if got := ctl.bankLastUse[0]; got != deadline {
+		t.Errorf("bankLastUse = %v after closing, want %v", got, deadline)
+	}
+}
+
+// Two banks sharing a page-close deadline must resolve the tie the same
+// way every evaluation: the lowest flat bank index wins.
+func TestNextIdleCloseTieBreakDeterministic(t *testing.T) {
+	cfg := tinyConfig(64 * sim.Millisecond)
+	ctl := MustNew(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), Options{})
+	g := cfg.Geometry
+
+	// Open pages in flat banks 2 and 1 (opened in that order) and give
+	// them identical last-use times, so their deadlines tie exactly.
+	for _, flat := range []int{2, 1} {
+		rem := flat % (g.Ranks * g.Banks)
+		addr := dram.Address{RowID: dram.RowID{
+			Channel: flat / (g.Ranks * g.Banks),
+			Rank:    rem / g.Banks,
+			Bank:    rem % g.Banks,
+			Row:     7,
+		}}
+		ctl.module.Access(0, addr, false)
+		ctl.bankLastUse[flat] = 1000
+	}
+
+	wantAt := sim.Time(1000) + ctl.idleClose
+	for i := 0; i < 10; i++ {
+		at, flat, ok := ctl.nextIdleClose()
+		if !ok || at != wantAt || flat != 1 {
+			t.Fatalf("iteration %d: nextIdleClose = (%v, %d, %v), want (%v, 1, true)",
+				i, at, flat, ok, wantAt)
+		}
+	}
+}
+
+// The controller's trace scope must see idle page-closes and
+// self-refresh residency spans alongside the demand commands.
+func TestControllerTraceIdleCloseAndSelfRefresh(t *testing.T) {
+	cfg := tinyConfig(64 * sim.Millisecond)
+	tr := telemetry.NewTracer()
+	ctl := MustNew(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), Options{
+		Trace:            tr,
+		SelfRefreshAfter: 100 * sim.Microsecond,
+	})
+
+	ctl.Submit(Request{Time: 0, Addr: 0})
+	// Let the page-close timeout and then the self-refresh deadline fire,
+	// then wake the rank with a second access.
+	wake := sim.Time(2 * sim.Millisecond)
+	ctl.Submit(Request{Time: wake, Addr: 0})
+	ctl.Finish(wake + sim.Time(sim.Millisecond))
+
+	for _, k := range []telemetry.CommandKind{
+		telemetry.CmdActivate, telemetry.CmdRead,
+		telemetry.CmdIdleClose, telemetry.CmdSelfRefresh,
+	} {
+		if tr.CommandCount(k) == 0 {
+			t.Errorf("trace has no %s events", k)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package memctrl
 import (
 	"smartrefresh/internal/dram"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 )
 
 // Self-refresh orchestration: when a rank has seen no demand for
@@ -101,6 +102,9 @@ func (c *Controller) exitSelfRefresh(t sim.Time, channel, rank int) {
 	c.module.ExitSelfRefresh(t, channel, rank)
 	c.sr.ranks[ri].active = false
 	c.sr.ranks[ri].lastDemand = t
+	if c.trace != nil {
+		c.trace.Command(telemetry.CmdSelfRefresh, c.rankTid(ri), -1, c.sr.ranks[ri].enteredAt, t)
+	}
 	// The engine refreshed throughout; rows are at most one interval old.
 	c.coverSelfRefresh(c.sr.ranks[ri].enteredAt, t, channel, rank)
 }
@@ -141,6 +145,9 @@ func (c *Controller) finishSelfRefresh(end sim.Time) {
 		st := &c.sr.ranks[ri]
 		if !st.active || st.enteredAt >= end {
 			continue
+		}
+		if c.trace != nil {
+			c.trace.Command(telemetry.CmdSelfRefresh, c.rankTid(ri), -1, st.enteredAt, end)
 		}
 		c.coverSelfRefresh(st.enteredAt, end, ri/g.Ranks, ri%g.Ranks)
 		st.enteredAt = end

@@ -55,12 +55,15 @@ func WriteFigure(w io.Writer, fig experiment.Figure, format Format) error {
 	}
 }
 
-// figureJSON is the stable JSON shape of a figure.
+// figureJSON is the stable JSON shape of a figure. Baseline is emitted
+// unconditionally: a figure whose baseline series measured zero is a
+// legitimate value (not "no baseline"), and omitempty would silently
+// drop it from the wire shape consumers diff against.
 type figureJSON struct {
 	ID            string             `json:"id"`
 	Title         string             `json:"title"`
 	Unit          string             `json:"unit"`
-	Baseline      float64            `json:"baseline,omitempty"`
+	Baseline      float64            `json:"baseline"`
 	Values        map[string]float64 `json:"values"`
 	Order         []string           `json:"order"`
 	MeasuredGMean float64            `json:"measured_gmean"`

@@ -260,3 +260,38 @@ func TestWriteEngineStats(t *testing.T) {
 		t.Error("unknown engine-stats format accepted")
 	}
 }
+
+// TestWriteFigureJSONGolden locks the exact wire shape — in particular a
+// zero baseline must appear explicitly (a regression once hidden by
+// omitempty: a figure whose baseline measured zero silently lost the
+// key, so consumers could not tell "zero" from "absent").
+func TestWriteFigureJSONGolden(t *testing.T) {
+	s := stats.NewSeries("figX")
+	s.Set("fasta", 2)
+	fig := experiment.Figure{
+		ID: "figX", Title: "t", Unit: "u", Series: s, Baseline: 0,
+		MeasuredGMean: 2, PaperGMean: 3,
+	}
+	var sb strings.Builder
+	if err := WriteFigure(&sb, fig, JSON); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "id": "figX",
+  "title": "t",
+  "unit": "u",
+  "baseline": 0,
+  "values": {
+    "fasta": 2
+  },
+  "order": [
+    "fasta"
+  ],
+  "measured_gmean": 2,
+  "paper_gmean": 3
+}
+`
+	if sb.String() != want {
+		t.Errorf("figure JSON drifted:\n got: %s\nwant: %s", sb.String(), want)
+	}
+}

@@ -7,13 +7,17 @@ import (
 )
 
 // FuzzHistogramQuantile drives the histogram through arbitrary
-// observation streams and quantiles and checks the properties every
+// observation streams (including negative values, which land in the
+// underflow bucket) and quantiles, and checks the properties every
 // caller relies on: quantiles are finite (JSON-encodable), are valid
-// upper bounds clamped to the maximum observation, and are monotone in q.
+// upper bounds clamped to the maximum observation, are monotone in q,
+// and the underflow/overflow/bucket counts partition the total.
 func FuzzHistogramQuantile(f *testing.F) {
 	f.Add(uint8(4), 2.0, 1.0, 100.0, 0.99)
 	f.Add(uint8(1), 0.5, -3.0, 1e12, 1.0)
 	f.Add(uint8(16), 1.0, 0.0, 0.0, 0.0)
+	f.Add(uint8(8), 1.0, -5.0, -1.0, 0.5)
+	f.Add(uint8(2), 0.25, -1e9, 3.0, 0.9)
 	f.Fuzz(func(t *testing.T, buckets uint8, width, a, b, q float64) {
 		if buckets == 0 || width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
 			t.Skip()
@@ -28,6 +32,23 @@ func FuzzHistogramQuantile(f *testing.F) {
 		h.Observe(a)
 		h.Observe(b)
 		h.Observe(a/2 + b/2)
+
+		var wantUnder uint64
+		for _, v := range []float64{a, b, a/2 + b/2} {
+			if v < 0 {
+				wantUnder++
+			}
+		}
+		if h.Underflow() != wantUnder {
+			t.Fatalf("Underflow = %d, want %d", h.Underflow(), wantUnder)
+		}
+		var binned uint64
+		for i := 0; i < int(buckets); i++ {
+			binned += h.Bucket(i)
+		}
+		if sum := binned + h.Underflow() + h.Overflow(); sum != h.Total() {
+			t.Fatalf("buckets+underflow+overflow = %d, want Total %d", sum, h.Total())
+		}
 
 		v := h.Quantile(q)
 		if math.IsInf(v, 0) || math.IsNaN(v) {

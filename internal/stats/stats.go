@@ -123,13 +123,16 @@ func Mean(vs []float64) float64 {
 }
 
 // Histogram is a fixed-bucket histogram over [0, buckets*width). Values at
-// or beyond the top land in an overflow bucket.
+// or beyond the top land in an overflow bucket; negative values land in an
+// underflow bucket (they used to be misfiled into bucket 0, skewing the
+// low end of every latency distribution that ever saw a negative input).
 type Histogram struct {
-	width    float64
-	counts   []uint64
-	overflow uint64
-	total    uint64
-	max      float64 // largest observation, for overflow quantiles
+	width     float64
+	counts    []uint64
+	underflow uint64
+	overflow  uint64
+	total     uint64
+	max       float64 // largest observation, for overflow quantiles
 }
 
 // NewHistogram creates a histogram with the given bucket count and width.
@@ -140,18 +143,22 @@ func NewHistogram(buckets int, width float64) *Histogram {
 	return &Histogram{width: width, counts: make([]uint64, buckets)}
 }
 
-// Observe adds an observation. Negative values count in bucket 0.
+// Observe adds an observation. Negative values count in the underflow
+// bucket (a negative bucket index would misfile them into bucket 0 — or
+// panic for NaN-tainted streams); they still count toward Total and the
+// quantiles, with 0 as their bucket upper edge.
 func (h *Histogram) Observe(v float64) {
 	if h.total == 0 || v > h.max {
 		h.max = v
 	}
 	h.total++
 	if v < 0 {
-		h.counts[0]++
+		h.underflow++
 		return
 	}
 	i := int(v / h.width)
-	if i >= len(h.counts) {
+	if i >= len(h.counts) || i < 0 {
+		// i < 0 guards int overflow for huge v/width ratios.
 		h.overflow++
 		return
 	}
@@ -166,6 +173,9 @@ func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
 
 // Overflow returns the count of observations beyond the last bucket.
 func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Underflow returns the count of negative observations.
+func (h *Histogram) Underflow() uint64 { return h.underflow }
 
 // Max returns the largest observation, or 0 with no observations.
 func (h *Histogram) Max() float64 {
@@ -188,7 +198,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if target == 0 {
 		target = 1
 	}
-	var cum uint64
+	// Underflow observations sort below every bucket; their upper edge is
+	// 0 (clamped to the maximum like every other bucket edge).
+	cum := h.underflow
+	if cum >= target {
+		return math.Min(0, h.max)
+	}
 	for i, c := range h.counts {
 		cum += c
 		if cum >= target {

@@ -104,7 +104,7 @@ func TestHistogramBasics(t *testing.T) {
 	if h.Total() != 7 {
 		t.Errorf("Total = %d", h.Total())
 	}
-	if h.Bucket(0) != 2 { // 0.5 and the clamped -1
+	if h.Bucket(0) != 1 { // only 0.5; -1 counts as underflow, not bucket 0
 		t.Errorf("Bucket(0) = %d", h.Bucket(0))
 	}
 	if h.Bucket(1) != 2 {
@@ -112,6 +112,46 @@ func TestHistogramBasics(t *testing.T) {
 	}
 	if h.Overflow() != 2 {
 		t.Errorf("Overflow = %d", h.Overflow())
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow = %d", h.Underflow())
+	}
+}
+
+func TestHistogramUnderflow(t *testing.T) {
+	// Regression: negative observations used to be misfiled into bucket 0,
+	// inflating the low end of the distribution; they now count in a
+	// dedicated underflow bucket mirroring Overflow.
+	h := NewHistogram(4, 1)
+	for _, v := range []float64{-5, -0.001, 2.5} {
+		h.Observe(v)
+	}
+	if h.Underflow() != 2 {
+		t.Fatalf("Underflow = %d, want 2", h.Underflow())
+	}
+	if h.Bucket(0) != 0 {
+		t.Fatalf("Bucket(0) = %d, want 0", h.Bucket(0))
+	}
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", h.Total())
+	}
+	// Underflow sorts below bucket 0: its quantile upper edge is 0.
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("Quantile(0.5) = %v, want 0 (underflow upper edge)", q)
+	}
+	if q := h.Quantile(1); q != 2.5 {
+		t.Errorf("Quantile(1) = %v, want 2.5", q)
+	}
+
+	// All-negative streams clamp to the (negative) maximum observation.
+	neg := NewHistogram(4, 1)
+	neg.Observe(-3)
+	neg.Observe(-7)
+	if q := neg.Quantile(0.99); q != -3 {
+		t.Errorf("all-negative Quantile(0.99) = %v, want -3", q)
+	}
+	if neg.Underflow() != 2 {
+		t.Errorf("all-negative Underflow = %d, want 2", neg.Underflow())
 	}
 }
 

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"smartrefresh/internal/stats"
+)
+
+// Registry is a name-keyed collection of metric sources that components
+// register into and that report dumps read at end of run. It reuses the
+// internal/stats primitives: the registry stores pointers (counters,
+// histograms) or closures (gauges) and snapshots them lazily, so
+// registration costs one map insert and the simulation's hot paths touch
+// only their own stats objects.
+//
+// A nil *Registry is the disabled registry: registration and snapshots
+// no-op. Registration is safe from concurrent engine workers; the
+// metrics themselves are owned by one simulation each, so a snapshot is
+// only meaningful after the runs writing them have finished.
+//
+// Re-registering a name replaces the earlier source but keeps its
+// position, so memoised re-runs do not duplicate rows.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	sources map[string]source
+}
+
+type source struct {
+	kind string // "counter", "gauge", "histogram"
+	fn   func() Metric
+}
+
+// Metric is one snapshot row.
+type Metric struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	// Histogram-only detail (zero otherwise).
+	Count     uint64  `json:"count,omitempty"`
+	P50       float64 `json:"p50,omitempty"`
+	P99       float64 `json:"p99,omitempty"`
+	Max       float64 `json:"max,omitempty"`
+	Underflow uint64  `json:"underflow,omitempty"`
+	Overflow  uint64  `json:"overflow,omitempty"`
+}
+
+// NewRegistry returns an enabled registry.
+func NewRegistry() *Registry { return &Registry{sources: map[string]source{}} }
+
+// Enabled reports whether the registry records registrations.
+func (r *Registry) Enabled() bool { return r != nil }
+
+func (r *Registry) register(name, kind string, fn func() Metric) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, seen := r.sources[name]; !seen {
+		r.order = append(r.order, name)
+	}
+	r.sources[name] = source{kind: kind, fn: fn}
+	r.mu.Unlock()
+}
+
+// RegisterCounter publishes a counter under name.
+func (r *Registry) RegisterCounter(name string, c *stats.Counter) {
+	if r == nil {
+		return
+	}
+	r.register(name, "counter", func() Metric {
+		return Metric{Name: name, Kind: "counter", Value: float64(c.Value())}
+	})
+}
+
+// RegisterGauge publishes a value read through fn at snapshot time.
+func (r *Registry) RegisterGauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, "gauge", func() Metric {
+		return Metric{Name: name, Kind: "gauge", Value: fn()}
+	})
+}
+
+// RegisterHistogram publishes a histogram; its snapshot row carries the
+// count, mean bucket value (Value is the p50), tail quantile and the
+// out-of-range counts.
+func (r *Registry) RegisterHistogram(name string, h *stats.Histogram) {
+	if r == nil {
+		return
+	}
+	r.register(name, "histogram", func() Metric {
+		return Metric{
+			Name: name, Kind: "histogram",
+			Value: h.Quantile(0.5), Count: h.Total(),
+			P50: h.Quantile(0.5), P99: h.Quantile(0.99), Max: h.Max(),
+			Underflow: h.Underflow(), Overflow: h.Overflow(),
+		}
+	})
+}
+
+// Snapshot reads every source in registration order.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.sources[name].fn())
+	}
+	return out
+}
+
+// SortedSnapshot reads every source, ordered by name (stable across
+// concurrent registration orders, e.g. parallel engine sweeps).
+func (r *Registry) SortedSnapshot() []Metric {
+	out := r.Snapshot()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON dumps a sorted snapshot as one JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := r.SortedSnapshot()
+	if snap == nil {
+		snap = []Metric{}
+	}
+	return enc.Encode(snap)
+}
+
+// WriteCSV dumps a sorted snapshot as CSV.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("name,kind,value,count,p50,p99,max,underflow,overflow\n"); err != nil {
+		return err
+	}
+	for _, m := range r.SortedSnapshot() {
+		if _, err := fmt.Fprintf(bw, "%s,%s,%g,%d,%g,%g,%g,%d,%d\n",
+			csvEscape(m.Name), m.Kind, m.Value, m.Count, m.P50, m.P99, m.Max, m.Underflow, m.Overflow); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// csvEscape quotes a field containing separators or quotes.
+func csvEscape(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			out = append(out, '"')
+		}
+		out = append(out, s[i])
+	}
+	return string(append(out, '"'))
+}

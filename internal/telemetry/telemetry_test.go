@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/stats"
+)
+
+// traceFile mirrors the Chrome trace-event JSON object shape.
+type traceFile struct {
+	TraceEvents []traceEvent      `json:"traceEvents"`
+	DisplayUnit string            `json:"displayTimeUnit"`
+	OtherData   map[string]string `json:"otherData"`
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func decode(t *testing.T, tr *Tracer) traceFile {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return tf
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sc := tr.Scope("x")
+	if sc != nil {
+		t.Fatal("nil tracer returned non-nil scope")
+	}
+	// All of these must be safe on nil receivers.
+	sc.Command(CmdActivate, 0, 1, 0, 10)
+	sc.Instant("switch", 0, 5)
+	sc.NameThread(0, "bank")
+	tr.JobSpan("job", tr.JobStart(), time.Millisecond)
+	tr.SetEventLimit(10)
+	if tr.Dropped() != 0 || tr.CommandCount(CmdActivate) != 0 {
+		t.Fatal("nil tracer reported activity")
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("nil Write: %v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("nil trace output invalid: %v", err)
+	}
+}
+
+// TestDisabledPathAllocationFree is the cost-model contract: with
+// telemetry disabled (nil tracer/scope/registry) the hooks compiled into
+// the hot paths allocate nothing.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var tr *Tracer
+	sc := tr.Scope("x")
+	var reg *Registry
+	var c stats.Counter
+	allocs := testing.AllocsPerRun(1000, func() {
+		sc.Command(CmdRead, 3, 17, 100, 200)
+		sc.Instant("i", 0, 100)
+		tr.JobSpan("job", time.Time{}, 0)
+		reg.RegisterCounter("c", &c)
+		reg.RegisterGauge("g", nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestTracerCommandsAndSpans(t *testing.T) {
+	tr := NewTracer()
+	sc := tr.Scope("dram table1-2gb/smart")
+	sc.NameThread(0, "ch0/rk0/bk0")
+	sc.Command(CmdActivate, 0, 42, 1*sim.Nanosecond, 41*sim.Nanosecond)
+	sc.Command(CmdRefreshCBR, 1, -1, 100*sim.Nanosecond, 170*sim.Nanosecond)
+	sc.Instant("smart-disable", 0, 200*sim.Nanosecond)
+	base := tr.JobStart()
+	tr.JobSpan("2GB/gcc/smart", base, 3*time.Millisecond)
+	tr.JobSpan("2GB/gcc/cbr", base.Add(time.Millisecond), 2*time.Millisecond)
+
+	tf := decode(t, tr)
+	if tf.DisplayUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayUnit)
+	}
+	var names []string
+	for _, ev := range tf.TraceEvents {
+		names = append(names, ev.Ph+":"+ev.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"M:process_name", "M:thread_name", "X:ACT", "X:REF-CBR", "i:smart-disable", "X:2GB/gcc/smart", "X:2GB/gcc/cbr"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q in %s", want, joined)
+		}
+	}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Name {
+		case "ACT":
+			if ev.Ts != 0.001 || ev.Dur != 0.04 {
+				t.Errorf("ACT ts/dur = %v/%v, want 0.001/0.04 us", ev.Ts, ev.Dur)
+			}
+			if row, ok := ev.Args["row"].(float64); !ok || row != 42 {
+				t.Errorf("ACT args.row = %v, want 42", ev.Args["row"])
+			}
+		case "REF-CBR":
+			if ev.Args != nil {
+				t.Errorf("CBR command carries args %v, want none (row -1)", ev.Args)
+			}
+		}
+	}
+	if got := tr.CommandCount(CmdActivate); got != 1 {
+		t.Errorf("CommandCount(ACT) = %d", got)
+	}
+}
+
+// TestJobSpanLanes checks that overlapping wall-clock spans land on
+// distinct engine lanes while sequential ones reuse lane 0.
+func TestJobSpanLanes(t *testing.T) {
+	tr := NewTracer()
+	base := tr.wallBase
+	tr.JobSpan("a", base, 10*time.Microsecond)
+	tr.JobSpan("b", base.Add(5*time.Microsecond), 10*time.Microsecond) // overlaps a
+	tr.JobSpan("c", base.Add(20*time.Microsecond), time.Microsecond)   // after both
+
+	tf := decode(t, tr)
+	lanes := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Cat == "engine" {
+			lanes[ev.Name] = ev.Tid
+		}
+	}
+	if lanes["a"] != 0 || lanes["b"] != 1 || lanes["c"] != 0 {
+		t.Errorf("lanes = %v, want a:0 b:1 c:0", lanes)
+	}
+}
+
+func TestTracerEventLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEventLimit(3)
+	sc := tr.Scope("s") // consumes one buffered metadata event
+	// Each kind keeps buffering up to its reserve even past the limit,
+	// so a rare kind emitted late still appears in the trace.
+	for i := 0; i < kindReserve+10; i++ {
+		sc.Command(CmdWrite, 0, i, sim.Time(i), sim.Time(i+1))
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("Dropped = %d, want 10 (reserve %d honoured past the limit)", tr.Dropped(), kindReserve)
+	}
+	// A different kind arriving with the buffer long past the limit
+	// starts its own reserve rather than being starved.
+	sc.Command(CmdSelfRefresh, 0, -1, 0, sim.Time(1))
+	if got := tr.CommandCount(CmdSelfRefresh); got != 1 {
+		t.Fatalf("CommandCount(SELF-REF) = %d, want 1 buffered via kind reserve", got)
+	}
+	tf := decode(t, tr)
+	if tf.OtherData["droppedEvents"] != "10" {
+		t.Errorf("otherData.droppedEvents = %q", tf.OtherData["droppedEvents"])
+	}
+	// Spans bypass the limit.
+	tr.JobSpan("job", tr.JobStart(), time.Millisecond)
+	tf = decode(t, tr)
+	found := false
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "job" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("span dropped by event limit")
+	}
+}
+
+func TestCommandKindStrings(t *testing.T) {
+	want := map[CommandKind]string{
+		CmdActivate: "ACT", CmdPrecharge: "PRE", CmdRead: "READ", CmdWrite: "WRITE",
+		CmdRefreshRASOnly: "REF-RAS", CmdRefreshCBR: "REF-CBR",
+		CmdSelfRefresh: "SELF-REF", CmdIdleClose: "IDLE-CLOSE",
+	}
+	if len(want) != int(numCommandKinds) {
+		t.Fatalf("test covers %d kinds, tracer has %d", len(want), numCommandKinds)
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	var c stats.Counter
+	c.Add(7)
+	reg.RegisterCounter("b/requests", &c)
+	reg.RegisterGauge("a/refresh_ops", func() float64 { return 12 })
+	h := stats.NewHistogram(8, 1)
+	h.Observe(-1)
+	h.Observe(2.5)
+	h.Observe(100)
+	reg.RegisterHistogram("c/latency", h)
+
+	snap := reg.SortedSnapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d rows", len(snap))
+	}
+	if snap[0].Name != "a/refresh_ops" || snap[0].Value != 12 {
+		t.Errorf("row 0 = %+v", snap[0])
+	}
+	if snap[1].Name != "b/requests" || snap[1].Value != 7 || snap[1].Kind != "counter" {
+		t.Errorf("row 1 = %+v", snap[1])
+	}
+	if snap[2].Count != 3 || snap[2].Underflow != 1 || snap[2].Overflow != 1 {
+		t.Errorf("histogram row = %+v", snap[2])
+	}
+
+	// Re-registering replaces in place (memoised re-runs must not
+	// duplicate rows).
+	reg.RegisterGauge("a/refresh_ops", func() float64 { return 13 })
+	snap = reg.SortedSnapshot()
+	if len(snap) != 3 || snap[0].Value != 13 {
+		t.Errorf("re-register: %d rows, row0 %+v", len(snap), snap[0])
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var rows []Metric
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	buf.Reset()
+	if err := reg.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 4 {
+		t.Errorf("CSV has %d lines, want 4 (header + 3 rows)\n%s", lines, buf.String())
+	}
+
+	// Nil registry: registration and dumps no-op but stay valid.
+	var nilReg *Registry
+	nilReg.RegisterCounter("x", &c)
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry snapshot non-nil")
+	}
+	buf.Reset()
+	if err := nilReg.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("nil registry JSON = %q, want []", buf.String())
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape(`a,b"c`); got != `"a,b""c"` {
+		t.Errorf("csvEscape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("csvEscape = %q", got)
+	}
+}

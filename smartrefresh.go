@@ -29,6 +29,7 @@ import (
 	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/power"
 	"smartrefresh/internal/sim"
+	"smartrefresh/internal/telemetry"
 	"smartrefresh/internal/trace"
 	"smartrefresh/internal/workload"
 )
@@ -223,6 +224,36 @@ const (
 	Stacked3D64 = experiment.Stacked3D64
 	Stacked3D32 = experiment.Stacked3D32
 )
+
+// Telemetry (command tracing and metrics; see internal/telemetry).
+type (
+	// Tracer records DRAM command events and engine job spans as Chrome
+	// trace-event JSON (Perfetto-loadable). Attach one to Engine.Trace.
+	Tracer = telemetry.Tracer
+	// MetricsRegistry collects named counters, gauges and histograms
+	// from simulation runs. Attach one to Engine.Metrics.
+	MetricsRegistry = telemetry.Registry
+	// CommandKind enumerates the traced DRAM command event types.
+	CommandKind = telemetry.CommandKind
+)
+
+// Traced DRAM command event types.
+const (
+	CmdActivate       = telemetry.CmdActivate
+	CmdPrecharge      = telemetry.CmdPrecharge
+	CmdRead           = telemetry.CmdRead
+	CmdWrite          = telemetry.CmdWrite
+	CmdRefreshRASOnly = telemetry.CmdRefreshRASOnly
+	CmdRefreshCBR     = telemetry.CmdRefreshCBR
+	CmdSelfRefresh    = telemetry.CmdSelfRefresh
+	CmdIdleClose      = telemetry.CmdIdleClose
+)
+
+// NewTracer returns an enabled command tracer.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// NewMetricsRegistry returns an enabled metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // NewSuite builds an experiment suite with default options.
 func NewSuite() *Suite { return experiment.NewSuite() }
