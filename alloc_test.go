@@ -1,0 +1,77 @@
+// Steady-state allocation budget of the hot paths: once buffers have
+// grown to their working size, policy Advance and controller Submit must
+// not allocate. testing.AllocsPerRun is exact and machine-independent, so
+// these tests pin the budget in tier-1 CI; cmd/benchdiff gates the
+// coarser -benchmem numbers against the committed baseline.
+package smartrefresh_test
+
+import (
+	"testing"
+
+	"smartrefresh"
+)
+
+// warmPolicy drives a policy long enough for its internal buffers (and
+// the caller's command buffer) to reach steady-state capacity.
+func warmPolicy(p smartrefresh.Policy, step smartrefresh.Duration, ticks int) (smartrefresh.Time, []smartrefresh.RefreshCommand) {
+	var now smartrefresh.Time
+	var cmds []smartrefresh.RefreshCommand
+	for i := 0; i < ticks; i++ {
+		now += smartrefresh.Time(step)
+		cmds = p.Advance(now, cmds[:0])
+	}
+	return now, cmds
+}
+
+func TestPolicyAdvanceSteadyStateAllocFree(t *testing.T) {
+	cfg := smartrefresh.Table1_2GB()
+	cfg.Smart.SelfDisable = false
+	interval := cfg.RefreshInterval()
+	tickStep := interval / smartrefresh.Duration(cfg.Geometry.TotalRows())
+
+	cases := []struct {
+		name   string
+		policy smartrefresh.Policy
+		step   smartrefresh.Duration
+	}{
+		{"smart", smartrefresh.NewSmartPolicy(cfg), tickStep},
+		{"cbr", smartrefresh.NewCBRPolicy(cfg), tickStep},
+		// A whole burst per step: exercises the chunked emission loop.
+		{"burst", smartrefresh.NewBurstPolicy(cfg), interval},
+		{"oracle", smartrefresh.NewOraclePolicy(cfg), tickStep},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			now, cmds := warmPolicy(tc.policy, tc.step, 4096)
+			avg := testing.AllocsPerRun(200, func() {
+				now += smartrefresh.Time(tc.step)
+				cmds = tc.policy.Advance(now, cmds[:0])
+			})
+			if avg != 0 {
+				t.Errorf("%s steady-state Advance allocates %.1f allocs/op, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+func TestControllerSubmitSteadyStateAllocFree(t *testing.T) {
+	cfg := smartrefresh.Table1_2GB()
+	ctl, err := smartrefresh.NewController(cfg, smartrefresh.NewSmartPolicy(cfg),
+		smartrefresh.ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now smartrefresh.Time
+	var i uint64
+	submit := func() {
+		now += 200 * smartrefresh.Nanosecond
+		i++
+		ctl.Submit(smartrefresh.Request{Time: now, Addr: i * 16384})
+	}
+	for n := 0; n < 4096; n++ {
+		submit()
+	}
+	if avg := testing.AllocsPerRun(200, submit); avg != 0 {
+		t.Errorf("steady-state Submit allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -272,11 +272,13 @@ func BenchmarkSmartPolicyAdvance(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	var t smartrefresh.Time
+	var cmds []smartrefresh.RefreshCommand
 	step := cfg.RefreshInterval() / smartrefresh.Duration(cfg.Geometry.TotalRows())
 	for i := 0; i < b.N; i++ {
 		t += step
-		_ = p.Advance(t, nil)
+		cmds = p.Advance(t, cmds[:0])
 	}
+	_ = cmds
 }
 
 func BenchmarkControllerSubmit(b *testing.B) {

@@ -276,6 +276,11 @@ func checkRun(sc Scenario, pc policyCase, run PolicyRun, add func(policy, invari
 		add(pc.name, "refresh-accounting", "requested %d != module ops %d + dropped %d",
 			ps.RefreshesRequested, ms.RefreshOps, run.DroppedSelfRefresh)
 	}
+	// The Results surface must agree with the accessor it mirrors.
+	if run.Res.RefreshesDroppedSelfRefresh != run.DroppedSelfRefresh {
+		add(pc.name, "refresh-accounting", "Results dropped-SR %d != accessor %d",
+			run.Res.RefreshesDroppedSelfRefresh, run.DroppedSelfRefresh)
+	}
 	if ms.RefreshOps != ms.RefreshCBROps+ms.RefreshRASOnlyOps {
 		add(pc.name, "refresh-accounting", "ops %d != CBR %d + RAS-only %d",
 			ms.RefreshOps, ms.RefreshCBROps, ms.RefreshRASOnlyOps)

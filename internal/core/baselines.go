@@ -1,8 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 
 	"smartrefresh/internal/dram"
 	"smartrefresh/internal/sim"
@@ -18,8 +18,9 @@ type CBR struct {
 	geom     dram.Geometry
 	interval sim.Duration
 	start    sim.Time
-	tick     int64 // next refresh slot index
-	bank     int   // next flat bank index (round-robin)
+	tick     int64    // next refresh slot index
+	nextAt   sim.Time // slotTime(tick), cached for the hot NextTick path
+	bank     int      // next flat bank index (round-robin)
 	stats    PolicyStats
 }
 
@@ -40,6 +41,7 @@ func (c *CBR) Name() string { return "cbr" }
 func (c *CBR) Reset(start sim.Time) {
 	c.start = start
 	c.tick = 0
+	c.nextAt = start // slotTime(0)
 	c.bank = 0
 	c.stats = PolicyStats{}
 }
@@ -57,19 +59,16 @@ func (c *CBR) slotTime(k int64) sim.Time {
 }
 
 // NextTick implements Policy.
-func (c *CBR) NextTick() (sim.Time, bool) { return c.slotTime(c.tick), true }
+func (c *CBR) NextTick() (sim.Time, bool) { return c.nextAt, true }
 
 // Advance implements Policy.
 func (c *CBR) Advance(t sim.Time, dst []Command) []Command {
 	banks := c.geom.TotalBanks()
-	for {
-		next := c.slotTime(c.tick)
-		if next > t {
-			return dst
-		}
+	for c.nextAt <= t {
 		b := c.bank
 		c.bank = (c.bank + 1) % banks
 		c.tick++
+		c.nextAt = c.slotTime(c.tick)
 		ch := b / (c.geom.Ranks * c.geom.Banks)
 		rem := b % (c.geom.Ranks * c.geom.Banks)
 		dst = append(dst, Command{
@@ -79,6 +78,7 @@ func (c *CBR) Advance(t sim.Time, dst []Command) []Command {
 		})
 		c.stats.RefreshesRequested++
 	}
+	return dst
 }
 
 // Stats implements Policy.
@@ -92,8 +92,16 @@ type Burst struct {
 	interval sim.Duration
 	start    sim.Time
 	cycle    int64 // next interval index
+	pos      int   // next flat row within the current burst (0 when idle)
 	stats    PolicyStats
 }
+
+// burstChunk bounds how many commands a single Burst.Advance call emits.
+// A full burst is O(TotalRows); emitting it in chunks keeps the caller's
+// command buffer (and each drain iteration) small. Advance returns early at
+// a chunk boundary and NextTick keeps reporting the in-progress cycle's
+// time, so callers that loop until NextTick() > t complete the burst.
+const burstChunk = 1024
 
 // NewBurst constructs the burst refresh policy.
 func NewBurst(g dram.Geometry, interval sim.Duration) *Burst {
@@ -112,33 +120,65 @@ func (b *Burst) Name() string { return "burst" }
 func (b *Burst) Reset(start sim.Time) {
 	b.start = start
 	b.cycle = 0
+	b.pos = 0
 	b.stats = PolicyStats{}
 }
 
 // OnRowRestore implements Policy; burst refresh ignores demand traffic.
 func (b *Burst) OnRowRestore(sim.Time, dram.RowID) {}
 
-// NextTick implements Policy.
-func (b *Burst) NextTick() (sim.Time, bool) {
-	return b.start + sim.Time(b.cycle)*b.interval, true
+// cycleTime returns the start time of burst cycle k, or ok=false when the
+// multiply/add would overflow int64 (possible on very long simulated
+// horizons): past that point the policy reports no further ticks rather
+// than wrapping to a bogus early time.
+func (b *Burst) cycleTime(k int64) (sim.Time, bool) {
+	if k == 0 || b.interval == 0 {
+		return b.start, true
+	}
+	if k > math.MaxInt64/int64(b.interval) {
+		return 0, false
+	}
+	at := b.start + sim.Time(k)*b.interval
+	if at < b.start {
+		return 0, false
+	}
+	return at, true
 }
 
-// Advance implements Policy.
+// NextTick implements Policy. While a burst is mid-emission (a previous
+// Advance hit its chunk limit) this still reports the in-progress cycle's
+// time so the caller re-invokes Advance.
+func (b *Burst) NextTick() (sim.Time, bool) { return b.cycleTime(b.cycle) }
+
+// Advance implements Policy. At most burstChunk commands are emitted per
+// call; the burst resumes where it left off on the next call.
 func (b *Burst) Advance(t sim.Time, dst []Command) []Command {
+	rows := b.geom.Rows
+	total := b.geom.TotalRows()
 	for {
-		at := b.start + sim.Time(b.cycle)*b.interval
-		if at > t {
+		at, ok := b.cycleTime(b.cycle)
+		if !ok || at > t {
 			return dst
 		}
-		for bank := 0; bank < b.geom.TotalBanks(); bank++ {
-			ch := bank / (b.geom.Ranks * b.geom.Banks)
-			rem := bank % (b.geom.Ranks * b.geom.Banks)
-			id := dram.BankID{Channel: ch, Rank: rem / b.geom.Banks, Bank: rem % b.geom.Banks}
-			for row := 0; row < b.geom.Rows; row++ {
-				dst = append(dst, Command{Bank: id, Row: -1, Kind: dram.RefreshCBR})
+		emitted := 0
+		bank := -1
+		var id dram.BankID
+		for b.pos < total && emitted < burstChunk {
+			if nb := b.pos / rows; nb != bank {
+				bank = nb
+				ch := bank / (b.geom.Ranks * b.geom.Banks)
+				rem := bank % (b.geom.Ranks * b.geom.Banks)
+				id = dram.BankID{Channel: ch, Rank: rem / b.geom.Banks, Bank: rem % b.geom.Banks}
 			}
+			dst = append(dst, Command{Bank: id, Row: -1, Kind: dram.RefreshCBR})
+			b.pos++
+			emitted++
 		}
-		b.stats.RefreshesRequested += uint64(b.geom.TotalRows())
+		b.stats.RefreshesRequested += uint64(emitted)
+		if b.pos < total {
+			return dst // chunk boundary; caller loops until NextTick() > t
+		}
+		b.pos = 0
 		b.cycle++
 	}
 }
@@ -193,14 +233,59 @@ type oracleEntry struct {
 	stamp sim.Time
 }
 
+// oracleHeap is a hand-rolled binary min-heap ordered by due. The sift
+// algorithms mirror container/heap's up/down exactly (same comparisons,
+// same swap order) so duplicate-due entries surface in the same order as
+// the container/heap implementation this replaced, but push takes the
+// entry by value — no interface boxing, so the steady-state restore path
+// is allocation-free once capacity has grown.
 type oracleHeap []oracleEntry
 
-func (h oracleHeap) Len() int           { return len(h) }
-func (h oracleHeap) Less(i, j int) bool { return h[i].due < h[j].due }
-func (h oracleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *oracleHeap) Push(x any)        { *h = append(*h, x.(oracleEntry)) }
-func (h *oracleHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h oracleHeap) peek() oracleEntry  { return h[0] }
+func (h oracleHeap) peek() oracleEntry { return h[0] }
+
+func (h *oracleHeap) push(e oracleEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *oracleHeap) pop() oracleEntry {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+func (h oracleHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h[j].due < h[i].due) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h oracleHeap) down(i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].due < h[j1].due {
+			j = j2 // right child
+		}
+		if !(h[j].due < h[i].due) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
 
 // NewOracle constructs the oracle policy. guard must be at least the row
 // refresh time so a refresh finishes before the deadline.
@@ -235,7 +320,7 @@ func (o *Oracle) Reset(start sim.Time) {
 		if due < start {
 			due = start
 		}
-		heap.Push(&o.h, oracleEntry{due: due, flat: i, stamp: start})
+		o.h.push(oracleEntry{due: due, flat: i, stamp: start})
 	}
 }
 
@@ -243,7 +328,7 @@ func (o *Oracle) Reset(start sim.Time) {
 func (o *Oracle) OnRowRestore(t sim.Time, row dram.RowID) {
 	flat := row.Flat(o.geom)
 	o.lastRestore[flat] = t
-	heap.Push(&o.h, oracleEntry{due: t + o.interval - o.guard, flat: flat, stamp: t})
+	o.h.push(oracleEntry{due: t + o.interval - o.guard, flat: flat, stamp: t})
 }
 
 // NextTick implements Policy.
@@ -251,7 +336,7 @@ func (o *Oracle) NextTick() (sim.Time, bool) {
 	for len(o.h) > 0 {
 		e := o.h.peek()
 		if o.lastRestore[e.flat] != e.stamp {
-			heap.Pop(&o.h) // stale
+			o.h.pop() // stale
 			continue
 		}
 		return e.due, true
@@ -264,13 +349,13 @@ func (o *Oracle) Advance(t sim.Time, dst []Command) []Command {
 	for len(o.h) > 0 {
 		e := o.h.peek()
 		if o.lastRestore[e.flat] != e.stamp {
-			heap.Pop(&o.h)
+			o.h.pop()
 			continue
 		}
 		if e.due > t {
 			return dst
 		}
-		heap.Pop(&o.h)
+		o.h.pop()
 		row := dram.RowFromFlat(o.geom, e.flat)
 		dst = append(dst, Command{Bank: row.BankOf(), Row: row.Row, Kind: dram.RefreshRASOnly})
 		o.stats.RefreshesRequested++
@@ -278,7 +363,7 @@ func (o *Oracle) Advance(t sim.Time, dst []Command) []Command {
 		// back via OnRowRestore, but schedule defensively here as well in
 		// case the caller does not: the later of the two wins via stamp.
 		o.lastRestore[e.flat] = e.due
-		heap.Push(&o.h, oracleEntry{due: e.due + o.interval - o.guard, flat: e.flat, stamp: e.due})
+		o.h.push(oracleEntry{due: e.due + o.interval - o.guard, flat: e.flat, stamp: e.due})
 	}
 	return dst
 }

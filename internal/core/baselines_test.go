@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -81,21 +82,110 @@ func TestCBRIgnoresTraffic(t *testing.T) {
 	}
 }
 
+// drainAll loops Advance until the policy reports no work at or before t,
+// per the chunked-emission contract in the Policy.Advance doc.
+func drainAll(p Policy, t sim.Time, dst []Command) []Command {
+	for {
+		next, ok := p.NextTick()
+		if !ok || next > t {
+			return dst
+		}
+		before := len(dst)
+		dst = p.Advance(t, dst)
+		if len(dst) == before {
+			if next2, ok2 := p.NextTick(); ok2 && next2 <= t {
+				panic("drainAll: Advance made no progress")
+			}
+		}
+	}
+}
+
 func TestBurstEmitsAllAtBoundary(t *testing.T) {
 	g := smallGeom()
 	b := NewBurst(g, testInterval)
 	var cmds []Command
-	cmds = b.Advance(0, cmds)
+	cmds = drainAll(b, 0, cmds)
 	if len(cmds) != g.TotalRows() {
 		t.Fatalf("burst at t=0 emitted %d, want %d", len(cmds), g.TotalRows())
 	}
-	cmds = b.Advance(testInterval-1, cmds[:0])
+	cmds = drainAll(b, testInterval-1, cmds[:0])
 	if len(cmds) != 0 {
 		t.Fatalf("burst mid-interval emitted %d", len(cmds))
 	}
-	cmds = b.Advance(testInterval, cmds[:0])
+	cmds = drainAll(b, testInterval, cmds[:0])
 	if len(cmds) != g.TotalRows() {
 		t.Fatalf("burst at boundary emitted %d, want %d", len(cmds), g.TotalRows())
+	}
+}
+
+// TestBurstChunkedEmission checks the chunk contract on a geometry larger
+// than burstChunk: single Advance calls are bounded, NextTick keeps
+// reporting the in-progress cycle until the burst drains, and the fully
+// drained command sequence is the same bank-major order as an unchunked
+// emission.
+func TestBurstChunkedEmission(t *testing.T) {
+	g := smallGeom()
+	g.Rows = 1024 // 2 banks * 1024 = 2048 rows > burstChunk
+	b := NewBurst(g, testInterval)
+	total := g.TotalRows()
+	if total <= burstChunk {
+		t.Fatalf("test geometry too small: %d rows", total)
+	}
+
+	var cmds []Command
+	cmds = b.Advance(0, cmds)
+	if len(cmds) != burstChunk {
+		t.Fatalf("first Advance emitted %d, want chunk of %d", len(cmds), burstChunk)
+	}
+	if next, ok := b.NextTick(); !ok || next != 0 {
+		t.Fatalf("mid-burst NextTick = %v,%v, want 0,true", next, ok)
+	}
+	cmds = drainAll(b, 0, cmds)
+	if len(cmds) != total {
+		t.Fatalf("drained %d commands, want %d", len(cmds), total)
+	}
+	if b.Stats().RefreshesRequested != uint64(total) {
+		t.Fatalf("RefreshesRequested = %d, want %d", b.Stats().RefreshesRequested, total)
+	}
+	// Bank-major order: rows of bank 0, then bank 1, ...
+	for i, c := range cmds {
+		bank := i / g.Rows
+		rem := bank % (g.Ranks * g.Banks)
+		want := dram.BankID{Channel: bank / (g.Ranks * g.Banks), Rank: rem / g.Banks, Bank: rem % g.Banks}
+		if c.Bank != want || c.Row != -1 || c.Kind != dram.RefreshCBR {
+			t.Fatalf("cmd %d = %+v, want bank %+v row -1 CBR", i, c, want)
+		}
+	}
+	if next, ok := b.NextTick(); !ok || next != testInterval {
+		t.Fatalf("post-burst NextTick = %v,%v, want %v,true", next, ok, testInterval)
+	}
+}
+
+// TestBurstOverflowBoundary checks that cycle-time arithmetic near the
+// int64 horizon saturates to "no further ticks" instead of wrapping
+// negative and re-firing in the past.
+func TestBurstOverflowBoundary(t *testing.T) {
+	g := smallGeom()
+	b := NewBurst(g, testInterval)
+	const maxT = sim.Time(math.MaxInt64)
+	b.Reset(maxT - sim.Time(testInterval)/2) // cycle 1 would overflow
+
+	next, ok := b.NextTick()
+	if !ok || next != maxT-sim.Time(testInterval)/2 {
+		t.Fatalf("NextTick = %v,%v, want start,true", next, ok)
+	}
+	cmds := drainAll(b, maxT, nil)
+	if len(cmds) != g.TotalRows() {
+		t.Fatalf("emitted %d at horizon, want exactly one burst of %d", len(cmds), g.TotalRows())
+	}
+	if next, ok := b.NextTick(); ok {
+		t.Fatalf("NextTick after horizon = %v,%v, want ok=false", next, ok)
+	}
+	// A huge cycle count must trip the multiply guard, not wrap.
+	b2 := NewBurst(g, testInterval)
+	b2.cycle = math.MaxInt64 / 2
+	if _, ok := b2.NextTick(); ok {
+		t.Fatal("NextTick with overflowing cycle product reported a tick")
 	}
 }
 

@@ -53,9 +53,13 @@ type Policy interface {
 	// ok=false if it never fires again (e.g. the no-refresh policy).
 	NextTick() (t sim.Time, ok bool)
 
-	// Advance runs internal machinery for all ticks at or before t,
-	// appending refresh commands that became due to dst. Commands are
-	// returned in issue order.
+	// Advance runs internal machinery for ticks at or before t, appending
+	// refresh commands that became due to dst. Commands are returned in
+	// issue order. A policy may return early while it still has due work
+	// (e.g. Burst emits at most a bounded chunk per call) provided each
+	// call makes progress and NextTick keeps reporting a time <= t until
+	// the work is drained; callers must therefore loop until
+	// NextTick() > t (or ok=false) rather than assume one call per tick.
 	Advance(t sim.Time, dst []Command) []Command
 
 	// Stats returns the accumulated policy statistics.

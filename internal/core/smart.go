@@ -86,23 +86,34 @@ type Smart struct {
 	interval sim.Duration
 	cfg      SmartConfig
 
+	// counters is stored position-major: slot pos*Segments+seg holds the
+	// counter of logical row seg*rowsPerSeg+pos. A tick indexes one
+	// position of every segment, so the packed layout turns the tick's
+	// Segments accesses into one contiguous (usually single-cache-line)
+	// block instead of Segments loads spread rowsPerSeg bytes apart.
 	counters []uint8
 	max      uint8
 	modulus  int // 2^CounterBits
+
+	// zeroCnt[pos] counts the zero counters among the Segments slots
+	// indexed at in-segment position pos — the segment-level summary that
+	// lets a tick with no due rows skip the per-counter zero checks and
+	// all emission work.
+	zeroCnt []uint16
 
 	// maxFor, when non-nil, overrides the per-row counter reset value
 	// (retention-aware extension); nil means the uniform maximum.
 	maxFor func(flat int) uint8
 
 	rowsPerSeg int
-	segRows    int // == rowsPerSeg, rows per segment
 
 	// Tick bookkeeping. Tick k indexes position (k mod rowsPerSeg) of
 	// every segment. A full pass over a segment takes one counter access
 	// period = interval / 2^bits.
 	capPeriod sim.Duration // counter access period
 	start     sim.Time
-	tick      int64 // next tick index to execute
+	tick      int64    // next tick index to execute
+	nextAt    sim.Time // tickTime(tick), cached for the hot NextTick path
 
 	pending []Command // bounded by cfg.QueueDepth
 
@@ -138,13 +149,14 @@ func NewSmart(g dram.Geometry, interval sim.Duration, cfg SmartConfig) *Smart {
 		interval:   interval,
 		cfg:        cfg,
 		counters:   make([]uint8, total),
+		zeroCnt:    make([]uint16, total/cfg.Segments),
 		modulus:    1 << cfg.CounterBits,
 		max:        uint8(1<<cfg.CounterBits - 1),
 		rowsPerSeg: total / cfg.Segments,
 		capPeriod:  interval / sim.Duration(int64(1)<<cfg.CounterBits),
+		pending:    make([]Command, 0, cfg.QueueDepth),
 		cbr:        NewCBR(g, interval),
 	}
-	s.segRows = s.rowsPerSeg
 	s.Reset(0)
 	return s
 }
@@ -167,6 +179,7 @@ func (s *Smart) Config() SmartConfig { return s.cfg }
 func (s *Smart) Reset(start sim.Time) {
 	s.start = start
 	s.tick = 0
+	s.nextAt = start
 	s.pending = s.pending[:0]
 	s.disabled = false
 	s.windowStart = start
@@ -174,6 +187,27 @@ func (s *Smart) Reset(start sim.Time) {
 	s.stats = PolicyStats{}
 	s.cbr.Reset(start)
 	s.seedStagger()
+}
+
+// slot maps a logical flat row index to its packed counter slot
+// (position-major storage; see the counters field).
+func (s *Smart) slot(flat int) int {
+	return (flat%s.rowsPerSeg)*s.cfg.Segments + flat/s.rowsPerSeg
+}
+
+// rebuildZeroCounts recomputes the per-position zero-counter summary from
+// the counter array (called after bulk reseeding).
+func (s *Smart) rebuildZeroCounts() {
+	segs := s.cfg.Segments
+	for pos := range s.zeroCnt {
+		n := uint16(0)
+		for _, c := range s.counters[pos*segs : (pos+1)*segs] {
+			if c == 0 {
+				n++
+			}
+		}
+		s.zeroCnt[pos] = n
+	}
 }
 
 // seedStagger initialises the counters so refresh requests are spread
@@ -184,16 +218,18 @@ func (s *Smart) Reset(start sim.Time) {
 func (s *Smart) seedStagger() {
 	if s.cfg.UniformSeed {
 		for i := range s.counters {
-			s.counters[i] = s.resetValue(i)
+			s.counters[s.slot(i)] = s.resetValue(i)
 		}
+		s.rebuildZeroCounts()
 		return
 	}
 	for i := range s.counters {
 		seg := i / s.rowsPerSeg
 		p := i % s.rowsPerSeg
 		span := int(s.resetValue(i)) + 1
-		s.counters[i] = uint8((p*s.modulus/s.rowsPerSeg + seg) % span)
+		s.counters[s.slot(i)] = uint8((p*s.modulus/s.rowsPerSeg + seg) % span)
 	}
+	s.rebuildZeroCounts()
 }
 
 // resetValue returns the counter reload value for a row: the uniform
@@ -215,16 +251,13 @@ func (s *Smart) tickTime(k int64) sim.Time {
 		sim.Time(frac)*s.capPeriod/sim.Time(s.rowsPerSeg)
 }
 
-// counterIndex returns the flat counter index for segment seg at in-
-// segment position pos. Counters are "evenly hashed" into segments by
-// contiguous blocks of the flat row index; any fixed partition works, the
-// requirement is only that each counter is indexed exactly once per
-// counter access period.
-func (s *Smart) counterIndex(seg, pos int) int { return seg*s.rowsPerSeg + pos }
-
 // OnRowRestore implements Policy: the row's counter is reset to its
 // maximum (one SRAM write), both when the row is opened and when its page
-// is closed (section 4.1).
+// is closed (section 4.1). Counters are "evenly hashed" into segments by
+// contiguous blocks of the flat row index (row flat belongs to segment
+// flat/rowsPerSeg at position flat%rowsPerSeg); any fixed partition
+// works, the requirement is only that each counter is indexed exactly
+// once per counter access period.
 func (s *Smart) OnRowRestore(t sim.Time, row dram.RowID) {
 	s.windowAccesses++
 	if s.disabled {
@@ -232,7 +265,11 @@ func (s *Smart) OnRowRestore(t sim.Time, row dram.RowID) {
 		return
 	}
 	flat := row.Flat(s.geom)
-	s.counters[flat] = s.resetValue(flat)
+	slot := s.slot(flat)
+	if s.counters[slot] == 0 {
+		s.zeroCnt[flat%s.rowsPerSeg]--
+	}
+	s.counters[slot] = s.resetValue(flat)
 	s.stats.AccessResets++
 	s.stats.CounterWrites++
 }
@@ -248,7 +285,7 @@ func (s *Smart) NextTick() (sim.Time, bool) {
 		}
 		return next, true
 	}
-	return s.tickTime(s.tick), true
+	return s.nextAt, true
 }
 
 // Advance implements Policy.
@@ -256,19 +293,22 @@ func (s *Smart) Advance(t sim.Time, dst []Command) []Command {
 	for {
 		if s.disabled {
 			// CBR fallback: run the delegate up to the next access-density
-			// window boundary, evaluate the window, repeat until t.
+			// window boundary, evaluate the window, repeat until t. The
+			// delta is counted from the commands actually appended, not
+			// from the delegate's stats counter, so a delegate Reset (the
+			// disable switch re-phases it) can never underflow it.
 			boundary := s.windowStart + s.interval
 			limit := sim.Min(t, boundary)
-			before := s.cbr.Stats().RefreshesRequested
+			before := len(dst)
 			dst = s.cbr.Advance(limit, dst)
-			s.stats.RefreshesRequested += s.cbr.Stats().RefreshesRequested - before
+			s.stats.RefreshesRequested += uint64(len(dst) - before)
 			if t < boundary {
 				return dst
 			}
 			s.maybeSwitchMode(boundary)
 			continue
 		}
-		next := s.tickTime(s.tick)
+		next := s.nextAt
 		if next > t {
 			return dst
 		}
@@ -283,36 +323,63 @@ func (s *Smart) Advance(t sim.Time, dst []Command) []Command {
 // bound of section 5.
 func (s *Smart) runTick(now sim.Time, dst []Command) []Command {
 	pos := int(s.tick % int64(s.rowsPerSeg))
+	segs := s.cfg.Segments
+	slots := s.counters[pos*segs : (pos+1)*segs]
 	generated := 0
-	for seg := 0; seg < s.cfg.Segments; seg++ {
-		idx := s.counterIndex(seg, pos)
-		s.stats.CounterReads++
-		if s.counters[idx] == 0 {
-			s.counters[idx] = s.resetValue(idx)
-			s.stats.CounterWrites++
-			row := dram.RowFromFlat(s.geom, idx)
-			if len(s.pending) >= s.cfg.QueueDepth {
-				// Unreachable when QueueDepth >= Segments because the
-				// queue drains every Advance; guarded as an invariant.
-				panic("core: pending refresh request queue overflow")
+	if s.zeroCnt[pos] == 0 {
+		// No counter at this position is due: decrement the whole packed
+		// block, only tracking decrements that newly reach zero. Every
+		// access is still one counter read and one counter write — the
+		// stats below account for them in bulk.
+		newZero := uint16(0)
+		for i, c := range slots {
+			c--
+			slots[i] = c
+			if c == 0 {
+				newZero++
 			}
-			s.pending = append(s.pending, Command{
-				Bank: row.BankOf(), Row: row.Row, Kind: dram.RefreshRASOnly,
-			})
-			generated++
-		} else {
-			s.counters[idx]--
-			s.stats.CounterWrites++
-			s.stats.SkippedIndexings++
+		}
+		s.zeroCnt[pos] = newZero
+	} else {
+		for seg, c := range slots {
+			if c == 0 {
+				flat := seg*s.rowsPerSeg + pos
+				slots[seg] = s.resetValue(flat)
+				s.zeroCnt[pos]--
+				row := dram.RowFromFlat(s.geom, flat)
+				if len(s.pending) >= s.cfg.QueueDepth {
+					// Unreachable when QueueDepth >= Segments because the
+					// queue drains every Advance; guarded as an invariant.
+					panic("core: pending refresh request queue overflow")
+				}
+				s.pending = append(s.pending, Command{
+					Bank: row.BankOf(), Row: row.Row, Kind: dram.RefreshRASOnly,
+				})
+				generated++
+			} else {
+				c--
+				slots[seg] = c
+				if c == 0 {
+					s.zeroCnt[pos]++
+				}
+			}
 		}
 	}
-	if generated > s.stats.MaxPendingPerTick {
-		s.stats.MaxPendingPerTick = generated
+	// Each of the Segments indexings is one counter read plus one counter
+	// write (a decrement or a reset); non-zero counters skip the refresh.
+	s.stats.CounterReads += uint64(segs)
+	s.stats.CounterWrites += uint64(segs)
+	s.stats.SkippedIndexings += uint64(segs - generated)
+	if generated > 0 {
+		if generated > s.stats.MaxPendingPerTick {
+			s.stats.MaxPendingPerTick = generated
+		}
+		s.stats.RefreshesRequested += uint64(generated)
+		dst = append(dst, s.pending...)
+		s.pending = s.pending[:0]
 	}
-	s.stats.RefreshesRequested += uint64(generated)
-	dst = append(dst, s.pending...)
-	s.pending = s.pending[:0]
 	s.tick++
+	s.nextAt = s.tickTime(s.tick)
 	return dst
 }
 
@@ -348,8 +415,12 @@ func (s *Smart) maybeSwitchMode(now sim.Time) {
 			// still holds.
 			s.start = boundary
 			s.tick = 0
+			s.nextAt = boundary
 			for i := range s.counters {
 				s.counters[i] = 0
+			}
+			for i := range s.zeroCnt {
+				s.zeroCnt[i] = uint16(s.cfg.Segments)
 			}
 		}
 		s.windowStart = boundary
@@ -372,7 +443,7 @@ func (s *Smart) Disabled() bool { return s.disabled }
 
 // CounterValue exposes a row's counter (for tests).
 func (s *Smart) CounterValue(row dram.RowID) uint8 {
-	return s.counters[row.Flat(s.geom)]
+	return s.counters[s.slot(row.Flat(s.geom))]
 }
 
 // CounterAccessPeriod returns interval / 2^bits (section 4.2).

@@ -350,6 +350,57 @@ func TestSmartSelfDisableOnIdle(t *testing.T) {
 	}
 }
 
+// TestSmartDisabledDeltaSnapshotSafe is the regression test for the
+// disabled-mode accounting fix: RefreshesRequested must equal the number
+// of commands actually emitted, even when the CBR delegate is Reset
+// mid-window (each disable switch re-phases the delegate, zeroing its
+// cumulative stats). Differencing the delegate's cumulative counter
+// against a stale snapshot underflows across such a reset; the
+// append-count delta cannot.
+func TestSmartDisabledDeltaSnapshotSafe(t *testing.T) {
+	g := smallGeom()
+	cfg := DefaultSmartConfig()
+	s := NewSmart(g, testInterval, cfg)
+
+	var emitted uint64
+	var cmds []Command
+	advance := func(to sim.Time) {
+		cmds = s.Advance(to, cmds[:0])
+		emitted += uint64(len(cmds))
+	}
+
+	// Window 1 idle: disable at the first boundary, then run the delegate
+	// partway into window 2.
+	advance(testInterval + testInterval/2)
+	if !s.Disabled() {
+		t.Fatal("precondition: not disabled")
+	}
+	// Delegate reset mid-window, as the disable switch performs: the
+	// delegate's cumulative stats drop to zero while the policy's do not.
+	s.cbr.Reset(testInterval + testInterval/2)
+	advance(2 * testInterval)
+
+	// Hot accesses in window 3 re-enable Smart at 3*interval; window 4 is
+	// idle, so a second disable (with its delegate reset) happens inside
+	// the same Advance call that then keeps draining CBR commands.
+	now := 2 * testInterval
+	for i := 0; i < g.TotalRows(); i++ {
+		s.OnRowRestore(now, dram.RowFromFlat(g, i))
+	}
+	advance(4 * testInterval)
+	st := s.Stats()
+	if st.EnableSwitches != 1 || st.DisableSwitches != 2 {
+		t.Fatalf("switches enable=%d disable=%d, want 1/2", st.EnableSwitches, st.DisableSwitches)
+	}
+
+	if st.RefreshesRequested != emitted {
+		t.Fatalf("RefreshesRequested = %d, emitted commands = %d", st.RefreshesRequested, emitted)
+	}
+	if st.RefreshesRequested > uint64(100*g.TotalRows()) {
+		t.Fatalf("RefreshesRequested = %d looks underflowed", st.RefreshesRequested)
+	}
+}
+
 func TestSmartReEnableOnHotTraffic(t *testing.T) {
 	g := smallGeom()
 	cfg := DefaultSmartConfig()

@@ -562,6 +562,13 @@ func (m *Module) OpenRow(bank BankID) int {
 	return m.banks[bank.Flat(m.geom)].openRow
 }
 
+// OpenRowFlat is OpenRow addressed by flat bank index — the controller's
+// page-close bookkeeping already works in flat indices, and skipping the
+// BankID round-trip matters on that hot path.
+func (m *Module) OpenRowFlat(flat int) int {
+	return m.banks[flat].openRow
+}
+
 // PrechargeBank closes the bank's open page at time t (no earlier than the
 // bank's tRAS/write-recovery constraints allow) and returns the restored
 // row. The second return is false if the bank was already precharged.

@@ -176,11 +176,13 @@ func execute(j runJob) RunResult {
 	}
 
 	var warmModule, warmPolicy = ctl.Module().Stats(), j.policy.Stats()
+	var warmDroppedSR uint64
 	warmed := false
 	takeWarmupSnapshot := func(t sim.Time) {
 		ctl.AdvanceTo(t)
 		ctl.Module().Finalize(t)
 		warmModule, warmPolicy = ctl.Module().Stats(), j.policy.Stats()
+		warmDroppedSR = ctl.RefreshesDroppedSelfRefresh()
 		warmed = true
 	}
 	submit := func(t sim.Time, addr uint64, write bool) {
@@ -216,6 +218,7 @@ func execute(j runJob) RunResult {
 	full := ctl.Results(end)
 	full.Module = full.Module.Sub(warmModule)
 	full.Policy = full.Policy.Sub(warmPolicy)
+	full.RefreshesDroppedSelfRefresh -= warmDroppedSR
 	full.Energy = j.cfg.Power.Evaluate(full.Module, full.Policy)
 	full.RefreshOps = full.Module.RefreshOps
 	full.RefreshCBR = full.Module.RefreshCBROps

@@ -91,6 +91,7 @@ type Controller struct {
 
 	idleClose   sim.Duration // page-close timeout (<0: never)
 	bankLastUse []sim.Time   // per flat bank: last demand activity
+	idleq       idleHeap     // lazy heap of candidate page-close deadlines
 
 	sr selfRefreshController
 
@@ -249,34 +250,98 @@ func (c *Controller) refreshRestore(t sim.Time, row dram.RowID) {
 	}
 }
 
+// idleEntry is one candidate page-close deadline: bank flat was last used
+// at at-idleClose, so its page should close at at (if still open and not
+// touched since).
+type idleEntry struct {
+	at   sim.Time
+	flat int32
+}
+
+// idleHeap is a binary min-heap of idleEntry ordered by (at, flat) — the
+// same order the old linear bank scan produced (strictly-smaller deadline
+// wins; ties go to the lowest flat index), so close order and tie-breaks
+// are bit-identical. Entries are invalidated lazily: a demand access that
+// touches the bank, or anything that precharges it, makes the entry stale,
+// and stale entries are discarded when they surface at the heap head. The
+// heap holds at most one valid entry per open bank (the one matching the
+// bank's latest bankLastUse), so peeking pops at most O(stale) entries.
+type idleHeap []idleEntry
+
+func (h idleHeap) less(i, j int) bool {
+	return h[i].at < h[j].at || (h[i].at == h[j].at && h[i].flat < h[j].flat)
+}
+
+func (h *idleHeap) push(e idleEntry) {
+	*h = append(*h, e)
+	// Sift up.
+	hh := *h
+	j := len(hh) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !hh.less(j, i) {
+			break
+		}
+		hh[i], hh[j] = hh[j], hh[i]
+		j = i
+	}
+}
+
+// popHead removes the minimum entry.
+func (h *idleHeap) popHead() {
+	hh := *h
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	*h = hh[:n]
+	hh = hh[:n]
+	// Sift down.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && hh.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !hh.less(j, i) {
+			break
+		}
+		hh[i], hh[j] = hh[j], hh[i]
+		i = j
+	}
+}
+
+// armIdleClose schedules bank flat's page-close deadline from its latest
+// demand activity. Called on every demand completion; superseded entries
+// for the same bank die lazily in nextIdleClose.
+func (c *Controller) armIdleClose(flat int) {
+	if c.idleClose < 0 {
+		return
+	}
+	c.idleq.push(idleEntry{at: c.bankLastUse[flat] + c.idleClose, flat: int32(flat)})
+}
+
 // nextIdleClose returns the earliest pending page-close deadline across
-// banks with an open page, or ok=false when none is pending.
+// banks with an open page, or ok=false when none is pending. An entry is
+// current only if its bank still has an open page and its deadline matches
+// the bank's latest activity; anything else is a superseded remnant and is
+// dropped here.
 func (c *Controller) nextIdleClose() (sim.Time, int, bool) {
 	if c.idleClose < 0 {
 		return 0, 0, false
 	}
-	best := -1
-	var at sim.Time
-	g := c.cfg.Geometry
-	for flat := range c.bankLastUse {
-		rem := flat % (g.Ranks * g.Banks)
-		bank := dram.BankID{
-			Channel: flat / (g.Ranks * g.Banks),
-			Rank:    rem / g.Banks,
-			Bank:    rem % g.Banks,
-		}
-		if c.module.OpenRow(bank) == -1 {
+	for len(c.idleq) > 0 {
+		e := c.idleq[0]
+		flat := int(e.flat)
+		if c.module.OpenRowFlat(flat) == -1 || e.at != c.bankLastUse[flat]+c.idleClose {
+			c.idleq.popHead()
 			continue
 		}
-		deadline := c.bankLastUse[flat] + c.idleClose
-		if best == -1 || deadline < at {
-			best, at = flat, deadline
-		}
+		return e.at, flat, true
 	}
-	if best == -1 {
-		return 0, 0, false
-	}
-	return at, best, true
+	return 0, 0, false
 }
 
 // closeIdleBank precharges one bank at its page-close deadline and
@@ -368,7 +433,9 @@ func (c *Controller) Submit(req Request) dram.AccessResult {
 		c.exitSelfRefresh(req.Time, addr.Channel, addr.Rank)
 	}
 	res := c.module.Access(req.Time, addr, req.Write)
-	c.bankLastUse[addr.BankOf().Flat(c.cfg.Geometry)] = res.Done
+	flat := addr.BankOf().Flat(c.cfg.Geometry)
+	c.bankLastUse[flat] = res.Done
+	c.armIdleClose(flat)
 	c.noteDemand(res.Done, addr.Channel, addr.Rank)
 
 	if res.ClosedRowSet {
@@ -452,9 +519,13 @@ type Results struct {
 	RefreshRASOnly   uint64
 	RefreshPerSecond float64
 	DemandStall      sim.Duration
-	Module           dram.ModuleStats
-	Policy           core.PolicyStats
-	Energy           power.Breakdown
+	// RefreshesDroppedSelfRefresh counts policy refresh commands elided
+	// because their rank was in self-refresh (covered by the module's
+	// internal engine). Policy.RefreshesRequested = RefreshOps + this.
+	RefreshesDroppedSelfRefresh uint64
+	Module                      dram.ModuleStats
+	Policy                      core.PolicyStats
+	Energy                      power.Breakdown
 }
 
 // Results computes the summary as of time end (call Finish(end) first).
@@ -472,9 +543,12 @@ func (c *Controller) Results(end sim.Time) Results {
 		RefreshCBR:     ms.RefreshCBROps,
 		RefreshRASOnly: ms.RefreshRASOnlyOps,
 		DemandStall:    ms.DemandStall,
-		Module:         ms,
-		Policy:         ps,
-		Energy:         c.cfg.Power.Evaluate(ms, ps),
+
+		RefreshesDroppedSelfRefresh: c.refreshesDroppedSR,
+
+		Module: ms,
+		Policy: ps,
+		Energy: c.cfg.Power.Evaluate(ms, ps),
 	}
 	if end > 0 {
 		r.RefreshPerSecond = float64(ms.RefreshOps) / end.Seconds()

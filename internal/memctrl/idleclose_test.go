@@ -58,6 +58,7 @@ func TestNextIdleCloseTieBreakDeterministic(t *testing.T) {
 		}}
 		ctl.module.Access(0, addr, false)
 		ctl.bankLastUse[flat] = 1000
+		ctl.armIdleClose(flat) // every bankLastUse write arms its deadline
 	}
 
 	wantAt := sim.Time(1000) + ctl.idleClose
@@ -66,6 +67,68 @@ func TestNextIdleCloseTieBreakDeterministic(t *testing.T) {
 		if !ok || at != wantAt || flat != 1 {
 			t.Fatalf("iteration %d: nextIdleClose = (%v, %d, %v), want (%v, 1, true)",
 				i, at, flat, ok, wantAt)
+		}
+	}
+}
+
+// linearNextIdleClose is the O(banks) scan the deadline heap replaced,
+// kept verbatim as the property-test reference: earliest deadline over all
+// open banks, ties to the lowest flat index.
+func linearNextIdleClose(c *Controller) (sim.Time, int, bool) {
+	if c.idleClose < 0 {
+		return 0, 0, false
+	}
+	best := -1
+	var at sim.Time
+	g := c.cfg.Geometry
+	for flat := range c.bankLastUse {
+		rem := flat % (g.Ranks * g.Banks)
+		bank := dram.BankID{
+			Channel: flat / (g.Ranks * g.Banks),
+			Rank:    rem / g.Banks,
+			Bank:    rem % g.Banks,
+		}
+		if c.module.OpenRow(bank) == -1 {
+			continue
+		}
+		deadline := c.bankLastUse[flat] + c.idleClose
+		if best == -1 || deadline < at {
+			best, at = flat, deadline
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return at, best, true
+}
+
+// TestNextIdleCloseHeapMatchesLinearScan cross-checks the lazy deadline
+// heap against the old linear scan on seeded random traffic: after every
+// submitted request (each of which runs the internal drain loop, closing
+// pages in deadline order) both implementations must agree on the next
+// close — same deadline, same bank, same tie-break.
+func TestNextIdleCloseHeapMatchesLinearScan(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		cfg := tinyConfig(64 * sim.Millisecond)
+		ctl := MustNew(cfg, core.NewCBR(cfg.Geometry, cfg.RefreshInterval()), Options{})
+		rng := sim.NewRNG(seed)
+		now := sim.Time(0)
+		for i := 0; i < 3000; i++ {
+			ctl.Submit(Request{
+				Time:  now,
+				Addr:  rng.Uint64() % uint64(ctl.Mapper().Capacity()),
+				Write: rng.Bool(0.3),
+			})
+			// Mix of gaps around the page-close timeout so pages sometimes
+			// survive to the next access and sometimes idle-close first.
+			now += sim.Time(rng.Intn(int(3 * ctl.idleClose)))
+
+			hAt, hFlat, hOk := ctl.nextIdleClose()
+			lAt, lFlat, lOk := linearNextIdleClose(ctl)
+			if hAt != lAt || hFlat != lFlat || hOk != lOk {
+				t.Fatalf("seed %d step %d: heap (%v,%d,%v) != scan (%v,%d,%v)",
+					seed, i, hAt, hFlat, hOk, lAt, lFlat, lOk)
+			}
 		}
 	}
 }

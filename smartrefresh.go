@@ -100,6 +100,9 @@ type (
 	SmartConfig = core.SmartConfig
 	// PolicyStats is policy-side telemetry.
 	PolicyStats = core.PolicyStats
+	// RefreshCommand is one refresh operation emitted by Policy.Advance;
+	// exported so callers can hold a reusable command buffer.
+	RefreshCommand = core.Command
 )
 
 // DefaultSmartConfig returns the paper's simulated configuration: 3-bit
