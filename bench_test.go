@@ -252,7 +252,11 @@ func benchSweep(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		s.Engine = smartrefresh.NewEngine(workers)
-		pairs = s.Sweep(smartrefresh.Conv2GB)
+		var err error
+		pairs, err = s.Sweep(smartrefresh.Conv2GB)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	if len(pairs) != len(benchSubset) {
 		b.Fatalf("sweep returned %d pairs", len(pairs))

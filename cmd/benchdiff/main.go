@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"smartrefresh/internal/atomicio"
 )
 
 // DefaultBench selects the figure benchmarks plus the headline sweep —
@@ -106,7 +108,7 @@ func runBench(args []string, w io.Writer) int {
 		w.Write(enc)
 		return 0
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := atomicio.WriteFileBytes(*out, enc); err != nil {
 		fmt.Fprintln(w, "benchdiff:", err)
 		return 2
 	}

@@ -10,6 +10,13 @@
 // benchmark, policy) combinations exactly once. Use -benchmarks and
 // -figures to restrict the sweep further.
 //
+// Long campaigns are interruptible and resumable: with -checkpoint,
+// every completed simulation is persisted (atomically) as it finishes,
+// SIGINT/SIGTERM stop the sweep at the next cancellation point, and a
+// later run with -resume serves the finished jobs from the checkpoint
+// as cache hits — regenerating byte-identical figure tables without
+// repeating any simulation.
+//
 // Examples:
 //
 //	experiments                          # everything
@@ -17,17 +24,23 @@
 //	experiments -figures fig6,fig7,fig8  # one configuration's sweep
 //	experiments -benchmarks fasta,gcc -figures fig12
 //	experiments -ablations               # only the ablation studies
+//	experiments -checkpoint sweep.ckpt   # persist progress; ^C is safe
+//	experiments -resume sweep.ckpt       # pick up where ^C stopped
 //	experiments -trace out.json          # Perfetto-loadable command trace
 //	experiments -metrics -               # metrics registry to stdout
 //	experiments -pprof localhost:6060    # live profiling endpoint
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"smartrefresh/internal/experiment"
 	"smartrefresh/internal/report"
@@ -37,13 +50,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			// The checkpoint (when enabled) was flushed after every
+			// completed job, so the interrupted campaign is resumable.
+			fmt.Fprintln(os.Stderr, "experiments: interrupted;", err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	figures := fs.String("figures", "all", "comma-separated figure ids (fig6..fig18), 'all', or 'none'")
 	benchmarks := fs.String("benchmarks", "all", "comma-separated benchmark subset or 'all'")
@@ -55,6 +76,10 @@ func run(args []string) error {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = serial)")
 	selfRefreshUS := fs.Int("selfrefresh-us", 0,
 		"arm controller self-refresh after this demand-idle time in us (0 = off; must exceed the 2us page-close timeout)")
+	checkpointPath := fs.String("checkpoint", "",
+		"persist every completed simulation to this file (atomic rewrite per job); safe to interrupt")
+	resumePath := fs.String("resume", "",
+		"load a previous run's checkpoint and serve its completed simulations as cache hits (implies -checkpoint onto the same file unless one is given)")
 	var tf telemetry.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -68,7 +93,27 @@ func run(args []string) error {
 		return err
 	}
 
+	var checkpoint *experiment.Checkpoint
+	switch {
+	case *resumePath != "":
+		checkpoint, err = experiment.LoadCheckpoint(*resumePath)
+		if err != nil {
+			return err
+		}
+		if *checkpointPath != "" {
+			checkpoint.SetPath(*checkpointPath)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "resume: %d completed simulations restored from %s\n",
+				checkpoint.Len(), *resumePath)
+		}
+	case *checkpointPath != "":
+		checkpoint = experiment.NewCheckpoint(*checkpointPath)
+	}
+
 	eng := experiment.NewEngine(*jobs)
+	eng.Ctx = ctx
+	eng.Checkpoint = checkpoint
 	eng.Trace = tf.Tracer()
 	eng.Metrics = tf.Registry()
 	if !*quiet {
@@ -83,6 +128,7 @@ func run(args []string) error {
 
 	suite := experiment.NewSuite()
 	suite.Engine = eng
+	suite.Ctx = ctx
 	suite.Opts = experiment.RunOptions{
 		Warmup:           sim.Time(*warmupMS) * sim.Millisecond,
 		Measure:          sim.Time(*measureMS) * sim.Millisecond,
@@ -106,7 +152,7 @@ func run(args []string) error {
 	for _, id := range ids {
 		fig, err := suite.FigureByID(strings.TrimSpace(id))
 		if err != nil {
-			return err
+			return interruptedErr(ctx, checkpoint, err)
 		}
 		if err := report.WriteFigure(os.Stdout, fig, format); err != nil {
 			return err
@@ -115,8 +161,8 @@ func run(args []string) error {
 	}
 
 	if *ablations || *figures == "none" {
-		if err := runAblations(eng, suite.Opts); err != nil {
-			return err
+		if err := runAblations(ctx, eng, suite.Opts); err != nil {
+			return interruptedErr(ctx, checkpoint, err)
 		}
 	}
 
@@ -128,7 +174,19 @@ func run(args []string) error {
 	return tf.Finish()
 }
 
-func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
+// interruptedErr decorates a cancellation-caused failure with the
+// resume instructions; any other error passes through untouched.
+func interruptedErr(ctx context.Context, cp *experiment.Checkpoint, err error) error {
+	if ctx.Err() == nil {
+		return err
+	}
+	if path := cp.Path(); path != "" {
+		return fmt.Errorf("%w; rerun with -resume %s to continue", ctx.Err(), path)
+	}
+	return fmt.Errorf("%w; rerun with -checkpoint to make interrupted sweeps resumable", ctx.Err())
+}
+
+func runAblations(ctx context.Context, eng *experiment.Engine, opts experiment.RunOptions) error {
 	gcc, err := workload.ByName("gcc")
 	if err != nil {
 		return err
@@ -138,11 +196,21 @@ func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
 		return err
 	}
 
+	// The studies drive the engine through its context-free entry
+	// points, which inherit eng.Ctx; a cancelled study returns fast
+	// with error-carrying results, so bail between (and after) studies
+	// rather than printing tables built from aborted runs.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Println("== Section 4.4: counter width vs optimality (benchmark: gcc) ==")
 	fmt.Print(experiment.FormatCounterWidthStudy(
 		experiment.CounterWidthStudy(eng, gcc, []int{2, 3, 4, 5}, opts)))
 	fmt.Println()
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Println("== Figure 2 ablation: staggered vs uniform counter seeding ==")
 	for _, p := range experiment.StaggerStudy(experiment.Conv2GB) {
 		fmt.Printf("  staggered=%-5v max pending/tick=%d peak refreshes/ms=%d\n",
@@ -150,6 +218,9 @@ func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
 	}
 	fmt.Println()
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Println("== Section 5: segment count / pending queue sizing (benchmark: fasta) ==")
 	for _, p := range experiment.SegmentsStudy(eng, fasta, []int{4, 8, 16}, opts) {
 		fmt.Printf("  segments=%-3d queue=%-3d max pending/tick=%d refresh ops=%d\n",
@@ -157,6 +228,9 @@ func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
 	}
 	fmt.Println()
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Println("== RAS-only bus overhead ablation (benchmark: gcc) ==")
 	for _, p := range experiment.BusOverheadStudy(eng, gcc, opts) {
 		fmt.Printf("  bus overhead=%-5v smart refresh energy=%.3f mJ saving=%.2f%%\n",
@@ -164,6 +238,9 @@ func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
 	}
 	fmt.Println()
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Println("== Retention-aware extension (RAPID/VRA + Smart Refresh, benchmark: gcc) ==")
 	for _, p := range experiment.RetentionAwareStudy(eng, gcc, opts) {
 		fmt.Printf("  %-16s refresh ops=%-8d reduction=%6.2f%% refreshE=%8.3f mJ totalE=%8.3f mJ\n",
@@ -171,6 +248,9 @@ func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
 	}
 	fmt.Println()
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Println("== Section 4.6: idle-OS self-disable ==")
 	d := experiment.DisableStudy(eng, opts)
 	fmt.Printf("  disable circuitry engaged: %v\n", d.DisableSwitched)
@@ -181,6 +261,9 @@ func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
 		d.WithoutDisable.Energy.Total().Millijoules())
 	fmt.Println()
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Println("== Idle power management comparison (extension) ==")
 	for _, p := range experiment.IdlePowerStudy(eng, opts) {
 		fmt.Printf("  %-18s total=%10.3f mJ controller refreshes=%d\n",
@@ -188,11 +271,14 @@ func runAblations(eng *experiment.Engine, opts experiment.RunOptions) error {
 	}
 	fmt.Println()
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Println("== eDRAM refresh-interval study (introduction: NEC 4ms, IBM 64us) ==")
 	for _, p := range experiment.EDRAMStudy(eng) {
 		fmt.Printf("  interval=%-8v baseline=%12.0f refr/s  refresh share=%5.1f%%  reduction=%6.2f%%  total saving=%6.2f%%\n",
 			p.Interval, p.BaselineRefreshesPerSec, p.BaselineRefreshSharePct,
 			p.RefreshReductionPct, p.TotalSavingPct)
 	}
-	return nil
+	return ctx.Err()
 }

@@ -1,14 +1,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"smartrefresh/internal/experiment"
 )
 
 func TestRunOneFigureSubset(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-figures", "fig6", "-benchmarks", "fasta",
 		"-warmup-ms", "16", "-measure-ms", "16", "-quiet",
 	})
@@ -18,7 +24,7 @@ func TestRunOneFigureSubset(t *testing.T) {
 }
 
 func TestRunCSVFormat(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-figures", "fig8", "-benchmarks", "gcc",
 		"-warmup-ms", "16", "-measure-ms", "16", "-quiet", "-format", "csv",
 	})
@@ -28,10 +34,10 @@ func TestRunCSVFormat(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-figures", "fig99", "-benchmarks", "fasta", "-quiet"}); err == nil {
+	if err := run(context.Background(), []string{"-figures", "fig99", "-benchmarks", "fasta", "-quiet"}); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := run([]string{"-format", "xml"}); err == nil {
+	if err := run(context.Background(), []string{"-format", "xml"}); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -45,7 +51,7 @@ func TestRunTraceAndMetricsOutputs(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "trace.json")
 	metricsPath := filepath.Join(dir, "metrics.json")
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-figures", "fig6", "-benchmarks", "fasta,gcc", "-ablations",
 		"-warmup-ms", "16", "-measure-ms", "16", "-quiet",
 		"-trace", tracePath, "-metrics", metricsPath,
@@ -102,5 +108,79 @@ func TestRunTraceAndMetricsOutputs(t *testing.T) {
 	}
 	if len(rows) == 0 {
 		t.Error("metrics dump is empty")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	os.Stdout = old
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// A sweep run with -checkpoint followed by a -resume run must emit
+// byte-identical figure tables: the restored results are served as
+// cache hits and round-trip through JSON without losing a bit.
+func TestRunCheckpointResumeIdenticalOutput(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	args := []string{
+		"-figures", "fig6,fig7", "-benchmarks", "fasta",
+		"-warmup-ms", "16", "-measure-ms", "16", "-quiet",
+	}
+	first := captureStdout(t, func() error {
+		return run(context.Background(), append([]string{"-checkpoint", ckpt}, args...))
+	})
+
+	cp, err := experiment.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 2 {
+		t.Fatalf("checkpoint holds %d results, want 2 (fasta x {cbr, smart})", cp.Len())
+	}
+
+	second := captureStdout(t, func() error {
+		return run(context.Background(), append([]string{"-resume", ckpt}, args...))
+	})
+	if first != second {
+		t.Errorf("resumed run differs from checkpointing run\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// A cancelled run must report the interruption rather than emit partial
+// tables, and the error must carry the resume hint.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	err := run(ctx, []string{
+		"-figures", "fig6", "-benchmarks", "fasta",
+		"-warmup-ms", "16", "-measure-ms", "16", "-quiet",
+		"-checkpoint", ckpt,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "-resume") {
+		t.Errorf("cancellation error %q does not mention -resume", err)
 	}
 }

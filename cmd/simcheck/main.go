@@ -10,29 +10,37 @@
 //	simcheck -seeds 64
 //	simcheck -seeds 1 -start 17 -v     # replay one failing seed verbosely
 //	simcheck -seeds 256 -presets=false # random scenarios only
+//	simcheck -seeds 64 -fingerprint    # print the sweep's SHA-256
 //
 // The exit status is 1 when any invariant is violated (or a scenario
-// panics), 0 on a clean sweep.
+// panics), 0 on a clean sweep, and 130 when interrupted by
+// SIGINT/SIGTERM — long sweeps stop within milliseconds at the next
+// cancellation point instead of running to completion.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"sync"
+	"syscall"
 
 	"smartrefresh/internal/check"
 	"smartrefresh/internal/telemetry"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout))
 }
 
-func run(args []string, w io.Writer) int {
+func run(ctx context.Context, args []string, w io.Writer) int {
 	fs := flag.NewFlagSet("simcheck", flag.ContinueOnError)
 	fs.SetOutput(w)
 	seeds := fs.Int("seeds", 64, "number of random scenario seeds to check")
@@ -40,6 +48,8 @@ func run(args []string, w io.Writer) int {
 	workers := fs.Int("workers", 0, "concurrent scenario checks (0: one per CPU)")
 	presets := fs.Bool("presets", true, "also check the vetted configuration presets")
 	verbose := fs.Bool("v", false, "describe every scenario, not just the dirty ones")
+	fingerprint := fs.Bool("fingerprint", false,
+		"print the SHA-256 fingerprint of all reports (for comparing sweeps across runs)")
 	var tf telemetry.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +72,11 @@ func run(args []string, w io.Writer) int {
 		scenarios = append(scenarios, check.PresetScenarios()...)
 	}
 
-	reports := checkAll(scenarios, *workers, &tf)
+	reports := checkAll(ctx, scenarios, *workers, &tf)
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(w, "simcheck: interrupted after %d of %d scenarios\n", len(reports), len(scenarios))
+		return 130
+	}
 
 	var violations, dirty int
 	for _, rep := range reports {
@@ -80,6 +94,9 @@ func run(args []string, w io.Writer) int {
 
 	fmt.Fprintf(w, "simcheck: %d scenarios, %d dirty, %d violations\n",
 		len(reports), dirty, violations)
+	if *fingerprint {
+		fmt.Fprintf(w, "simcheck: fingerprint %s\n", check.FingerprintReports(reports))
+	}
 	if err := tf.Finish(); err != nil {
 		fmt.Fprintln(w, "simcheck:", err)
 		return 2
@@ -93,7 +110,10 @@ func run(args []string, w io.Writer) int {
 // checkAll evaluates the scenarios across a worker pool; the report
 // order matches the scenario order regardless of worker count. The
 // telemetry sinks are internally synchronised, so workers share them.
-func checkAll(scenarios []check.Scenario, workers int, tf *telemetry.Flags) []check.Report {
+// On cancellation, dispatch stops, in-flight scenarios abort at their
+// next cancellation point, and the completed prefix of reports is
+// returned (the caller decides whether a prefix is worth printing).
+func checkAll(ctx context.Context, scenarios []check.Scenario, workers int, tf *telemetry.Flags) []check.Report {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -102,11 +122,16 @@ func checkAll(scenarios []check.Scenario, workers int, tf *telemetry.Flags) []ch
 	}
 	tr, reg := tf.Tracer(), tf.Registry()
 	out := make([]check.Report, len(scenarios))
+	done := make([]bool, len(scenarios))
 	if workers <= 1 {
 		for i, sc := range scenarios {
-			out[i] = check.CheckScenarioTraced(sc, tr, reg)
+			rep, err := check.CheckScenarioContext(ctx, sc, tr, reg)
+			if err != nil {
+				return completed(out, done)
+			}
+			out[i], done[i] = rep, true
 		}
-		return out
+		return completed(out, done)
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -115,16 +140,36 @@ func checkAll(scenarios []check.Scenario, workers int, tf *telemetry.Flags) []ch
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = check.CheckScenarioTraced(scenarios[i], tr, reg)
+				rep, err := check.CheckScenarioContext(ctx, scenarios[i], tr, reg)
+				if err != nil {
+					continue // drain remaining indices without running them
+				}
+				out[i], done[i] = rep, true
 			}
 		}()
 	}
+dispatch:
 	for i := range scenarios {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	return out
+	return completed(out, done)
+}
+
+// completed compacts the report slice to the contiguous completed
+// prefix — an interrupted parallel sweep may have holes, and a report
+// after a hole would misalign the seed order the output promises.
+func completed(out []check.Report, done []bool) []check.Report {
+	n := 0
+	for n < len(done) && done[n] {
+		n++
+	}
+	return out[:n]
 }
 
 // describe summarises one report: the policies run and the refresh

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestCleanSweepExitsZero(t *testing.T) {
 	var out strings.Builder
-	if code := run([]string{"-seeds", "4", "-presets=false"}, &out); code != 0 {
+	if code := run(context.Background(), []string{"-seeds", "4", "-presets=false"}, &out); code != 0 {
 		t.Fatalf("exit %d on a clean sweep:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "4 scenarios, 0 dirty, 0 violations") {
@@ -17,7 +18,7 @@ func TestCleanSweepExitsZero(t *testing.T) {
 
 func TestVerboseListsEveryScenario(t *testing.T) {
 	var out strings.Builder
-	if code := run([]string{"-seeds", "2", "-presets=false", "-v"}, &out); code != 0 {
+	if code := run(context.Background(), []string{"-seeds", "2", "-presets=false", "-v"}, &out); code != 0 {
 		t.Fatalf("exit %d:\n%s", code, out.String())
 	}
 	for _, name := range []string{"seed-1", "seed-2"} {
@@ -34,10 +35,10 @@ func TestVerboseListsEveryScenario(t *testing.T) {
 // sweep's output is reproducible and diffable.
 func TestWorkerCountDoesNotReorder(t *testing.T) {
 	var serial, parallel strings.Builder
-	if code := run([]string{"-seeds", "6", "-presets=false", "-v", "-workers", "1"}, &serial); code != 0 {
+	if code := run(context.Background(), []string{"-seeds", "6", "-presets=false", "-v", "-workers", "1"}, &serial); code != 0 {
 		t.Fatalf("serial sweep exit %d", code)
 	}
-	if code := run([]string{"-seeds", "6", "-presets=false", "-v", "-workers", "4"}, &parallel); code != 0 {
+	if code := run(context.Background(), []string{"-seeds", "6", "-presets=false", "-v", "-workers", "4"}, &parallel); code != 0 {
 		t.Fatalf("parallel sweep exit %d", code)
 	}
 	if serial.String() != parallel.String() {
@@ -48,11 +49,58 @@ func TestWorkerCountDoesNotReorder(t *testing.T) {
 
 func TestBadFlagsExitTwo(t *testing.T) {
 	var out strings.Builder
-	if code := run([]string{"-no-such-flag"}, &out); code != 2 {
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out); code != 2 {
 		t.Errorf("unknown flag: exit %d, want 2", code)
 	}
 	out.Reset()
-	if code := run([]string{"-seeds", "-3"}, &out); code != 2 {
+	if code := run(context.Background(), []string{"-seeds", "-3"}, &out); code != 2 {
 		t.Errorf("negative seed count: exit %d, want 2", code)
+	}
+}
+
+// The fingerprint is stable across worker counts (the report order is)
+// and printed only when requested.
+func TestFingerprintStableAcrossWorkers(t *testing.T) {
+	fp := func(workers string) string {
+		var out strings.Builder
+		if code := run(context.Background(),
+			[]string{"-seeds", "3", "-presets=false", "-fingerprint", "-workers", workers}, &out); code != 0 {
+			t.Fatalf("exit %d:\n%s", code, out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "simcheck: fingerprint "); ok {
+				return rest
+			}
+		}
+		t.Fatalf("no fingerprint line:\n%s", out.String())
+		return ""
+	}
+	if a, b := fp("1"), fp("4"); a != b {
+		t.Errorf("fingerprint depends on worker count: %s vs %s", a, b)
+	}
+
+	var out strings.Builder
+	if code := run(context.Background(), []string{"-seeds", "1", "-presets=false"}, &out); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out.String(), "fingerprint") {
+		t.Error("fingerprint printed without -fingerprint")
+	}
+}
+
+// A cancelled sweep exits 130 and reports the interruption instead of a
+// (misleadingly clean) summary line.
+func TestInterruptedSweepExits130(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	if code := run(ctx, []string{"-seeds", "4", "-presets=false"}, &out); code != 130 {
+		t.Fatalf("cancelled sweep exit %d, want 130:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("no interruption notice:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "0 dirty, 0 violations") {
+		t.Errorf("cancelled sweep printed a clean summary:\n%s", out.String())
 	}
 }

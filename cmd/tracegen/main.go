@@ -11,21 +11,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"smartrefresh/internal/atomicio"
 	"smartrefresh/internal/sim"
 	"smartrefresh/internal/trace"
 	"smartrefresh/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	benchmark := fs.String("benchmark", "gcc", "benchmark profile name")
 	stacked := fs.Bool("stacked", false, "emit the 3D-cache stream instead of the main-memory stream")
@@ -40,45 +42,49 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	src := prof.NewSource(*stacked)
-	end := sim.Time(*durationMS) * sim.Millisecond
-
-	var w *os.File
-	if *out == "-" {
-		w = os.Stdout
-	} else {
-		w, err = os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer w.Close()
-	}
-
-	var write func(trace.Record) error
-	var flush func() error
 	switch *format {
-	case "binary":
-		bw := trace.NewBinaryWriter(w)
-		write, flush = bw.Write, bw.Flush
-	case "text":
-		tw := trace.NewTextWriter(w)
-		write, flush = tw.Write, tw.Flush
+	case "binary", "text":
 	default:
 		return fmt.Errorf("unknown format %q (want binary or text)", *format)
 	}
+	end := sim.Time(*durationMS) * sim.Millisecond
 
 	var n uint64
-	for {
-		rec, ok := src.Next()
-		if !ok || rec.Time > end {
-			break
+	generate := func(w io.Writer) error {
+		var write func(trace.Record) error
+		var flush func() error
+		switch *format {
+		case "binary":
+			bw := trace.NewBinaryWriter(w)
+			write, flush = bw.Write, bw.Flush
+		case "text":
+			tw := trace.NewTextWriter(w)
+			write, flush = tw.Write, tw.Flush
 		}
-		if err := write(rec); err != nil {
+		src := prof.NewSource(*stacked)
+		n = 0
+		for {
+			rec, ok := src.Next()
+			if !ok || rec.Time > end {
+				break
+			}
+			if err := write(rec); err != nil {
+				return err
+			}
+			n++
+		}
+		return flush()
+	}
+
+	// Streaming to stdout reports flush errors directly (a reader that
+	// closed the pipe makes the run fail rather than exit zero with a
+	// truncated trace); file output goes through the atomic temp+rename
+	// writer, so an error at any stage leaves no partial trace behind.
+	if *out == "-" {
+		if err := generate(stdout); err != nil {
 			return err
 		}
-		n++
-	}
-	if err := flush(); err != nil {
+	} else if err := atomicio.WriteFile(*out, generate); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records over %d ms (%s, %s stream)\n",

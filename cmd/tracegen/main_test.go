@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestGenerateBinaryTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "out.trc")
-	if err := run([]string{"-benchmark", "fasta", "-duration-ms", "2", "-o", path}); err != nil {
+	if err := run([]string{"-benchmark", "fasta", "-duration-ms", "2", "-o", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -44,7 +45,7 @@ func TestGenerateBinaryTrace(t *testing.T) {
 func TestGenerateTextTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "out.txt")
-	if err := run([]string{"-benchmark", "gcc", "-stacked", "-duration-ms", "1", "-format", "text", "-o", path}); err != nil {
+	if err := run([]string{"-benchmark", "gcc", "-stacked", "-duration-ms", "1", "-format", "text", "-o", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -59,10 +60,50 @@ func TestGenerateTextTrace(t *testing.T) {
 }
 
 func TestGenerateErrors(t *testing.T) {
-	if err := run([]string{"-benchmark", "nope"}); err == nil {
+	if err := run([]string{"-benchmark", "nope"}, io.Discard); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run([]string{"-format", "xml", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+	if err := run([]string{"-format", "xml", "-o", filepath.Join(t.TempDir(), "x")}, io.Discard); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// A stdout reader that disappears (closed pipe) must turn into a
+// non-zero exit, not a silently truncated trace: the buffered writers
+// only hit the pipe at flush time, and that flush error has to
+// propagate out of run.
+func TestStdoutWriteErrorFails(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	defer w.Close()
+	if err := run([]string{"-benchmark", "fasta", "-duration-ms", "8"}, w); err == nil {
+		t.Error("run reported no error writing to a closed pipe")
+	}
+}
+
+// File output is atomic: a failed run (unwritable directory) leaves
+// nothing behind, and rerunning over an existing trace replaces it
+// without temp litter.
+func TestFileOutputAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.trc")
+	if err := run([]string{"-benchmark", "fasta", "-duration-ms", "1", "-o",
+		filepath.Join(dir, "missing", "out.trc")}, io.Discard); err == nil {
+		t.Error("run reported no error for an unwritable output directory")
+	}
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"-benchmark", "fasta", "-duration-ms", "1", "-o", path}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("directory holds %d entries, want just the trace (no temp litter)", len(ents))
 	}
 }

@@ -1,0 +1,73 @@
+// Package atomicio provides crash-safe file replacement for the
+// simulator's output artifacts (traces, metrics dumps, generated access
+// traces, benchmark baselines and sweep checkpoints).
+//
+// Every write goes to a temporary file in the destination directory,
+// is flushed, fsync'd and closed — with every one of those errors
+// checked, because Close and Sync are where short writes and ENOSPC
+// finally surface on buffered files — and only then renamed over the
+// destination. A reader (or a SIGINT arriving mid-write) therefore
+// observes either the complete previous file or the complete new one,
+// never a truncated artifact that looks like results.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with whatever fn writes. The
+// writer handed to fn is buffered; fn does not need to flush it. On any
+// error — from fn itself, the flush, the sync, the close or the rename —
+// the destination is left untouched and the temporary file is removed.
+func WriteFile(path string, fn func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	// Any failure below must not leave the temp file behind.
+	fail := func(stage string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %s %s: %w", stage, path, err)
+	}
+
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := fn(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fail("flush", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFileBytes atomically replaces path with data.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -1,0 +1,139 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// listDir returns all names in dir, so tests can assert no temp files
+// survive a failed or successful write.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFileBytes(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+
+	if err := WriteFileBytes(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("content after replace = %q, want %q", got, "second")
+	}
+	if names := listDir(t, dir); len(names) != 1 || names[0] != "out.json" {
+		t.Fatalf("directory not clean after writes: %v", names)
+	}
+}
+
+// TestWriteFileAtomicDuringWrite is the SIGINT-mid-write invariant: while
+// the payload callback is still running (and even writing), the
+// destination path must still hold the previous complete content.
+func TestWriteFileAtomicDuringWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+
+	err := WriteFile(path, func(w io.Writer) error {
+		// Exceed the internal buffer so bytes really hit the temp file.
+		big := strings.Repeat("x", 1<<17)
+		if _, err := io.WriteString(w, big); err != nil {
+			return err
+		}
+		mid, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if string(mid) != "old" {
+			t.Errorf("destination observed mid-write as %d bytes, want old content", len(mid))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if len(got) != 1<<17 {
+		t.Fatalf("final content %d bytes, want %d", len(got), 1<<17)
+	}
+}
+
+func TestWriteFileCallbackErrorLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "keep me" {
+		t.Fatalf("destination after failed write = %q, %v; want untouched", got, rerr)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp file left behind after failure: %v", names)
+	}
+}
+
+func TestWriteFileBadDirectory(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "missing", "out.json"), []byte("x"))
+	if err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}
+
+// TestWriteFileRenameErrorCleansUp exercises the post-payload failure
+// path portably: the destination's parent directory vanishes while the
+// temp file is open in it, so the finalise steps (chmod/rename) must
+// fail and report an error rather than pretend the file was written.
+func TestWriteFileRenameErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "out.json")
+	err := WriteFile(path, func(w io.Writer) error {
+		// Remove the parent directory while the temp file is open in it:
+		// the temp create succeeded, the rename must fail.
+		os.Remove(path)
+		return os.RemoveAll(sub)
+	})
+	if err == nil {
+		t.Fatal("expected error when destination directory disappears")
+	}
+}

@@ -24,6 +24,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -159,8 +160,11 @@ func policyCases(sc Scenario) []policyCase {
 
 // runPolicy executes one policy over the scenario, converting panics
 // into a recorded failure instead of crashing the harness. The
-// telemetry sinks may be nil (the disabled path).
-func runPolicy(sc Scenario, pc policyCase, tr *telemetry.Tracer, reg *telemetry.Registry) (run PolicyRun) {
+// telemetry sinks may be nil (the disabled path). A cancelled context
+// aborts the simulation early and leaves the run partial — the caller
+// must discard it, which CheckScenarioContext does by returning ctx's
+// error instead of a report.
+func runPolicy(ctx context.Context, sc Scenario, pc policyCase, tr *telemetry.Tracer, reg *telemetry.Registry) (run PolicyRun) {
 	run.Policy = pc.name
 	defer func() {
 		if r := recover(); r != nil {
@@ -168,7 +172,7 @@ func runPolicy(sc Scenario, pc policyCase, tr *telemetry.Tracer, reg *telemetry.
 		}
 	}()
 
-	ctl, err := memctrl.New(sc.Cfg, pc.make(), memctrl.Options{
+	opts := memctrl.Options{
 		CheckRetention:   true,
 		RetentionSlack:   pc.slack,
 		RetentionMap:     pc.retMap,
@@ -177,7 +181,11 @@ func runPolicy(sc Scenario, pc policyCase, tr *telemetry.Tracer, reg *telemetry.
 		Trace:            tr,
 		Metrics:          reg,
 		MetricsPrefix:    sc.Name + "/" + pc.name,
-	})
+	}
+	if ctx.Done() != nil {
+		opts.Interrupt = func() bool { return ctx.Err() != nil }
+	}
+	ctl, err := memctrl.New(sc.Cfg, pc.make(), opts)
 	if err != nil {
 		run.Panic = "construct: " + err.Error()
 		return run
@@ -185,7 +193,10 @@ func runPolicy(sc Scenario, pc policyCase, tr *telemetry.Tracer, reg *telemetry.
 
 	src := workload.NewGenerator(sc.Spec, sc.Seed)
 	end := sim.Time(sc.Duration)
-	for {
+	for n := 0; ; n++ {
+		if n&(cancelCheckStride-1) == 0 && ctx.Err() != nil {
+			return run
+		}
 		rec, ok := src.Next()
 		if !ok || rec.Time >= end {
 			break
@@ -193,6 +204,9 @@ func runPolicy(sc Scenario, pc policyCase, tr *telemetry.Tracer, reg *telemetry.
 		ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
 	}
 	ctl.Finish(end)
+	if ctx.Err() != nil {
+		return run
+	}
 
 	run.Res = ctl.Results(end)
 	run.DroppedSelfRefresh = ctl.RefreshesDroppedSelfRefresh()
@@ -201,6 +215,10 @@ func runPolicy(sc Scenario, pc policyCase, tr *telemetry.Tracer, reg *telemetry.
 	}
 	return run
 }
+
+// cancelCheckStride spaces the context polls in runPolicy's submit loop
+// so the check costs one cheap comparison per record on the hot path.
+const cancelCheckStride = 1024
 
 // CheckScenario runs every policy (twice, for the determinism check)
 // and evaluates all invariants.
@@ -213,6 +231,18 @@ func CheckScenario(sc Scenario) Report { return CheckScenarioTraced(sc, nil, nil
 // comparison also proves tracing does not perturb simulated results.
 // Both sinks may be nil.
 func CheckScenarioTraced(sc Scenario, tr *telemetry.Tracer, reg *telemetry.Registry) Report {
+	rep, _ := CheckScenarioContext(context.Background(), sc, tr, reg) // background is never cancelled
+	return rep
+}
+
+// CheckScenarioContext is CheckScenarioTraced with cooperative
+// cancellation: the context is polled between policy runs and, through
+// the controller's Interrupt hook, inside each simulation's event
+// drains, so a SIGINT lands within milliseconds even mid-scenario. A
+// cancelled check returns ctx's error and no report — partial runs are
+// never evaluated against the invariants, which would produce phantom
+// violations.
+func CheckScenarioContext(ctx context.Context, sc Scenario, tr *telemetry.Tracer, reg *telemetry.Registry) (Report, error) {
 	rep := Report{Scenario: sc}
 	add := func(policy, invariant, format string, args ...any) {
 		rep.Violations = append(rep.Violations, Violation{
@@ -225,8 +255,12 @@ func CheckScenarioTraced(sc Scenario, tr *telemetry.Tracer, reg *telemetry.Regis
 
 	byName := map[string]PolicyRun{}
 	for _, pc := range policyCases(sc) {
-		run := runPolicy(sc, pc, tr, reg)
-		if rerun := runPolicy(sc, pc, nil, nil); !reflect.DeepEqual(run, rerun) {
+		run := runPolicy(ctx, sc, pc, tr, reg)
+		rerun := runPolicy(ctx, sc, pc, nil, nil)
+		if err := ctx.Err(); err != nil {
+			return Report{Scenario: sc}, err
+		}
+		if !reflect.DeepEqual(run, rerun) {
 			add(pc.name, "determinism", "rerun differs:\n first: %+v\nsecond: %+v", run, rerun)
 		}
 		rep.Runs = append(rep.Runs, run)
@@ -234,7 +268,7 @@ func CheckScenarioTraced(sc Scenario, tr *telemetry.Tracer, reg *telemetry.Regis
 		checkRun(sc, pc, run, add)
 	}
 	checkRefreshBounds(sc, byName, add)
-	return rep
+	return rep, nil
 }
 
 // CheckSeed generates and checks the scenario for one seed.

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,7 +42,7 @@ func smartCase(t *testing.T, sc Scenario) policyCase {
 // invariant as a test error.
 func checkCase(t *testing.T, sc Scenario, pc policyCase) PolicyRun {
 	t.Helper()
-	run := runPolicy(sc, pc, nil, nil)
+	run := runPolicy(context.Background(), sc, pc, nil, nil)
 	checkRun(sc, pc, run, func(policy, invariant, format string, args ...any) {
 		t.Errorf("%s/%s: %s: %s", sc.Name, policy, invariant, fmt.Sprintf(format, args...))
 	})
@@ -159,7 +160,7 @@ func FuzzSelfRefreshOptions(f *testing.F) {
 		}
 
 		pc := smartCase(t, sc)
-		run := runPolicy(sc, pc, nil, nil)
+		run := runPolicy(context.Background(), sc, pc, nil, nil)
 
 		// Mirror the controller's documented acceptance rule.
 		effIdle := idleClose

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -107,6 +108,30 @@ type EngineStats struct {
 type Engine struct {
 	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// JobTimeout, when positive, bounds each job's simulation wall time
+	// with a per-job deadline. A job that exceeds it reports a
+	// DeadlineExceeded error (through the error return on the memoised
+	// path, through RunResult.Err on the RunJobs path); the rest of the
+	// batch is unaffected.
+	JobTimeout time.Duration
+	// Retries re-attempts a RunJobs job that returned a non-nil
+	// RunResult.Err, up to this many extra times. Cancellation is never
+	// retried: once the batch context is done, failed jobs are returned
+	// as-is. Memoised Run results are never retried either — the
+	// simulations are deterministic, so a genuine failure would simply
+	// repeat.
+	Retries int
+	// Checkpoint, when non-nil, persists every completed memoised result
+	// and pre-warms the memo: a spec whose key is already in the
+	// checkpoint is served as a cache hit without simulating. This is
+	// what makes an interrupted sweep resumable; see Checkpoint.
+	Checkpoint *Checkpoint
+	// Ctx is the base context used by the context-free entry points
+	// (Run, RunAll, RunJobs) — and therefore by every consumer that
+	// predates cancellation, such as the ablation studies. Nil means
+	// context.Background(). The *Context methods ignore it and use their
+	// argument.
+	Ctx context.Context
 	// OnJobStart and OnJobDone, when non-nil, observe jobs as they begin
 	// and finish (including cache hits). The engine serialises hook
 	// invocations, so the callbacks need not be goroutine-safe.
@@ -170,13 +195,36 @@ func (e *Engine) registerEngineMetrics() {
 	})
 }
 
+// closedDone is the pre-closed singleflight channel used for memo
+// entries restored from a checkpoint: there is no flight to wait for.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // Run returns the result for one spec, simulating it at most once per
 // engine lifetime. Concurrent calls with equal (canonicalised) specs
 // share a single simulation; the duplicates count as cache hits.
 func (e *Engine) Run(spec RunSpec) (RunResult, error) {
+	return e.RunContext(e.baseCtx(), spec)
+}
+
+// RunContext is Run with cooperative cancellation. The simulation loop
+// checks the context at record and tick/advance boundaries, so a
+// cancelled sweep stops within microseconds of simulated progress rather
+// than after the current job. A job aborted by the parent context is
+// removed from the memo — its partial state must never be served later —
+// whereas a job that merely exceeded Engine.JobTimeout stays memoised as
+// a failure (re-running a deterministic simulation would time out
+// again).
+func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 	spec = spec.normalize()
 	prof, err := spec.profile()
 	if err != nil {
+		return RunResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return RunResult{}, err
 	}
 
@@ -184,12 +232,25 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 	if ent, ok := e.memo[spec]; ok {
 		e.stats.CacheHits++
 		e.mu.Unlock()
-		<-ent.done
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return RunResult{}, ctx.Err()
+		}
 		e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, true, 0)
 		return ent.res, ent.err
 	}
 	if e.memo == nil {
 		e.memo = map[RunSpec]*memoEntry{}
+	}
+	if res, ok := e.Checkpoint.lookup(spec.Key()); ok {
+		// Completed in a previous (interrupted) sweep: pre-warm the memo
+		// and serve it as a cache hit.
+		e.memo[spec] = &memoEntry{done: closedDone, res: res}
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, true, 0)
+		return res, nil
 	}
 	ent := &memoEntry{done: make(chan struct{})}
 	e.memo[spec] = ent
@@ -198,6 +259,13 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 
 	e.registerEngineMetrics()
 	e.emit(e.OnJobStart, spec.Config.String(), spec.Benchmark, spec.Policy, false, 0)
+
+	jobCtx := ctx
+	if e.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jobCtx, cancel = context.WithTimeout(ctx, e.JobTimeout)
+		defer cancel()
+	}
 	jobStart := e.Trace.JobStart()
 	start := time.Now()
 	func() {
@@ -211,7 +279,7 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 			close(ent.done)
 		}()
 		cfg := spec.Config.DRAM()
-		ent.res = execute(runJob{
+		ent.res, ent.err = execute(jobCtx, runJob{
 			cfg:       cfg,
 			benchmark: spec.Benchmark,
 			kind:      spec.Policy,
@@ -224,11 +292,28 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 	}()
 	wall := time.Since(start)
 
+	if ent.err != nil && ctx.Err() != nil {
+		// Aborted by the caller, not by the job: forget the flight so a
+		// later call (or a resumed engine) re-simulates, and do not count
+		// it as finished work.
+		e.mu.Lock()
+		delete(e.memo, spec)
+		e.mu.Unlock()
+		return RunResult{}, ent.err
+	}
+
 	if e.Trace.Enabled() {
 		e.Trace.JobSpan(spec.Config.String()+"/"+spec.Benchmark+"/"+spec.Policy.String(), jobStart, wall)
 	}
 	e.finish(wall)
 	e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, false, wall)
+	if ent.err == nil {
+		if cerr := e.Checkpoint.record(spec.Key(), ent.res); cerr != nil {
+			// The result is valid but not durably recorded; surface the
+			// I/O failure instead of promising a resumable sweep.
+			return ent.res, cerr
+		}
+	}
 	return ent.res, ent.err
 }
 
@@ -236,11 +321,23 @@ func (e *Engine) Run(spec RunSpec) (RunResult, error) {
 // results in spec order: result i belongs to specs[i] for any worker
 // count. Duplicate and previously-run specs are served from the memo.
 func (e *Engine) RunAll(specs []RunSpec) ([]RunResult, error) {
+	return e.RunAllContext(e.baseCtx(), specs)
+}
+
+// RunAllContext is RunAll with cooperative cancellation: once ctx is
+// done, in-flight jobs abort at their next cancellation point, remaining
+// jobs are skipped, and the batch returns the context's error. Partial
+// results are never returned — a resumed sweep re-derives them from the
+// engine memo and checkpoint instead.
+func (e *Engine) RunAllContext(ctx context.Context, specs []RunSpec) ([]RunResult, error) {
 	out := make([]RunResult, len(specs))
 	errs := make([]error, len(specs))
 	e.forEach(len(specs), func(i int) {
-		out[i], errs[i] = e.Run(specs[i])
+		out[i], errs[i] = e.RunContext(ctx, specs[i])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -253,14 +350,39 @@ func (e *Engine) RunAll(specs []RunSpec) ([]RunResult, error) {
 // memoisation (their configurations need not be presets), returning
 // results in job order.
 func (e *Engine) RunJobs(jobs []Job) []RunResult {
+	return e.RunJobsContext(e.baseCtx(), jobs)
+}
+
+// RunJobsContext is RunJobs with cooperative cancellation and bounded
+// retry: a job whose RunResult.Err is non-nil is re-attempted up to
+// Engine.Retries extra times, but never once ctx is done — cancelled
+// jobs come back with Err set to the context's error, in job order like
+// every other result.
+func (e *Engine) RunJobsContext(ctx context.Context, jobs []Job) []RunResult {
 	out := make([]RunResult, len(jobs))
 	e.forEach(len(jobs), func(i int) {
-		out[i] = e.runJob(jobs[i])
+		out[i] = e.runJob(ctx, jobs[i])
 	})
 	return out
 }
 
-func (e *Engine) runJob(job Job) RunResult {
+func (e *Engine) runJob(ctx context.Context, job Job) RunResult {
+	res := e.runJobOnce(ctx, job)
+	for retry := 0; retry < e.Retries && res.Err != nil && ctx.Err() == nil; retry++ {
+		res = e.runJobOnce(ctx, job)
+	}
+	return res
+}
+
+func (e *Engine) runJobOnce(ctx context.Context, job Job) RunResult {
+	if err := ctx.Err(); err != nil {
+		return RunResult{
+			Benchmark: job.Prof.Name,
+			Policy:    job.Policy,
+			Config:    job.Cfg.Name,
+			Err:       err,
+		}
+	}
 	opts := job.Opts.withDefaults(job.Cfg.RefreshInterval())
 	policy := job.MakePolicy
 	if policy == nil {
@@ -277,6 +399,12 @@ func (e *Engine) runJob(job Job) RunResult {
 	e.registerEngineMetrics()
 	e.emit(e.OnJobStart, job.Cfg.Name, job.Prof.Name, job.Policy, false, 0)
 
+	jobCtx := ctx
+	if e.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jobCtx, cancel = context.WithTimeout(ctx, e.JobTimeout)
+		defer cancel()
+	}
 	jobStart := e.Trace.JobStart()
 	start := time.Now()
 	var res RunResult
@@ -295,7 +423,8 @@ func (e *Engine) runJob(job Job) RunResult {
 				}
 			}
 		}()
-		res = execute(runJob{
+		var err error
+		res, err = execute(jobCtx, runJob{
 			cfg:       job.Cfg,
 			benchmark: job.Prof.Name,
 			kind:      job.Policy,
@@ -305,8 +434,22 @@ func (e *Engine) runJob(job Job) RunResult {
 			trace:     e.Trace,
 			metrics:   e.Metrics,
 		})
+		if err != nil {
+			res = RunResult{
+				Benchmark: job.Prof.Name,
+				Policy:    job.Policy,
+				Config:    job.Cfg.Name,
+				Err:       err,
+			}
+		}
 	}()
 	wall := time.Since(start)
+
+	if res.Err != nil && ctx.Err() != nil {
+		// Aborted by the caller: not finished work, and nothing the
+		// instrumentation should count.
+		return res
+	}
 
 	if e.Trace.Enabled() {
 		e.Trace.JobSpan(job.Cfg.Name+"/"+job.Prof.Name+"/"+job.Policy.String(), jobStart, wall)
@@ -330,6 +473,13 @@ func (e *Engine) emit(hook func(JobEvent), cfg, benchmark string, kind PolicyKin
 	e.hookMu.Lock()
 	defer e.hookMu.Unlock()
 	hook(JobEvent{Config: cfg, Benchmark: benchmark, Policy: kind, Cached: cached, Wall: wall})
+}
+
+func (e *Engine) baseCtx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 func (e *Engine) workers() int {

@@ -28,7 +28,11 @@ func sweepWith(t *testing.T, workers int) []PairMetrics {
 	s.Benchmarks = engineSubset
 	s.Opts = engineOpts()
 	s.Engine = NewEngine(workers)
-	return s.Sweep(Conv2GB)
+	pairs, err := s.Sweep(Conv2GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs
 }
 
 // The tentpole's core promise: sweep output is identical for any worker

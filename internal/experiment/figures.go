@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -100,6 +101,9 @@ type Suite struct {
 	// default engine (one worker per CPU); set it to share runs and
 	// instrumentation with other consumers or to bound the worker count.
 	Engine *Engine
+	// Ctx, when non-nil, cancels in-flight sweeps: once it is done every
+	// Sweep/figure call returns its error. Nil means never cancelled.
+	Ctx context.Context
 
 	progressed map[ConfigKind]bool
 }
@@ -112,6 +116,13 @@ func (s *Suite) engine() *Engine {
 		s.Engine = NewEngine(0)
 	}
 	return s.Engine
+}
+
+func (s *Suite) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 func (s *Suite) profiles() []workload.Profile {
@@ -136,8 +147,10 @@ func (s *Suite) profiles() []workload.Profile {
 // benchmark order. The runs execute on the suite's engine, which
 // parallelises them across its worker pool and memoises each (config,
 // benchmark, policy) result, so repeated sweeps — every figure sharing a
-// configuration — cost no further simulation.
-func (s *Suite) Sweep(kind ConfigKind) []PairMetrics {
+// configuration — cost no further simulation. A non-nil error means the
+// sweep did not complete — the suite's context was cancelled or a run
+// failed — and no partial metrics are returned.
+func (s *Suite) Sweep(kind ConfigKind) ([]PairMetrics, error) {
 	profs := s.profiles()
 	specs := make([]RunSpec, 0, 2*len(profs))
 	for _, prof := range profs {
@@ -145,17 +158,16 @@ func (s *Suite) Sweep(kind ConfigKind) []PairMetrics {
 			specs = append(specs, RunSpec{Config: kind, Benchmark: prof.Name, Policy: pol, Opts: s.Opts})
 		}
 	}
-	results, err := s.engine().RunAll(specs)
+	results, err := s.engine().RunAllContext(s.ctx(), specs)
 	if err != nil {
-		// Unreachable: profiles() only yields resolvable benchmark names.
-		panic(fmt.Sprintf("experiment: sweep %v: %v", kind, err))
+		return nil, fmt.Errorf("experiment: sweep %v: %w", kind, err)
 	}
 	out := make([]PairMetrics, len(profs))
 	for i := range profs {
 		out[i] = PairFrom(results[2*i], results[2*i+1])
 	}
 	s.emitProgress(kind, out)
-	return out
+	return out, nil
 }
 
 // emitProgress reports each pair once per configuration, however many
@@ -174,12 +186,16 @@ func (s *Suite) emitProgress(kind ConfigKind, pairs []PairMetrics) {
 	}
 }
 
-func (s *Suite) series(kind ConfigKind, id string, pick func(PairMetrics) float64) *stats.Series {
+func (s *Suite) series(kind ConfigKind, id string, pick func(PairMetrics) float64) (*stats.Series, error) {
+	pairs, err := s.Sweep(kind)
+	if err != nil {
+		return nil, err
+	}
 	out := stats.NewSeries(id)
-	for _, pm := range s.Sweep(kind) {
+	for _, pm := range pairs {
 		out.Set(pm.Benchmark, pick(pm))
 	}
-	return out
+	return out, nil
 }
 
 // Figure 6/9/12/15: refreshes per second under Smart Refresh against the
@@ -187,62 +203,65 @@ func (s *Suite) series(kind ConfigKind, id string, pick func(PairMetrics) float6
 
 // Fig6 reproduces Figure 6 (2 GB refreshes/s; paper GMEAN 691,435,
 // baseline 2,048,000).
-func (s *Suite) Fig6() Figure {
+func (s *Suite) Fig6() (Figure, error) {
 	return s.refreshFigure(Conv2GB, "fig6", "Number of refreshes per second, 2GB DRAM", 691435)
 }
 
 // Fig9 reproduces Figure 9 (4 GB; paper GMEAN 2,343,691, baseline
 // 4,096,000).
-func (s *Suite) Fig9() Figure {
+func (s *Suite) Fig9() (Figure, error) {
 	return s.refreshFigure(Conv4GB, "fig9", "Number of refreshes per second, 4GB DRAM", 2343691)
 }
 
 // Fig12 reproduces Figure 12 (64 MB 3D cache, 64 ms; paper GMEAN 795,411,
 // baseline 1,024,000).
-func (s *Suite) Fig12() Figure {
+func (s *Suite) Fig12() (Figure, error) {
 	return s.refreshFigure(Stacked3D64, "fig12", "Number of refreshes per second, 64MB 3D DRAM cache, 64ms", 795411)
 }
 
 // Fig15 reproduces Figure 15 (64 MB 3D cache, 32 ms; paper GMEAN
 // 1,724,640, baseline 2,048,000).
-func (s *Suite) Fig15() Figure {
+func (s *Suite) Fig15() (Figure, error) {
 	return s.refreshFigure(Stacked3D32, "fig15", "Number of refreshes per second, 64MB 3D DRAM cache, 32ms", 1724640)
 }
 
-func (s *Suite) refreshFigure(kind ConfigKind, id, title string, paperGMean float64) Figure {
-	series := s.series(kind, id, func(pm PairMetrics) float64 { return pm.SmartRefreshesPerSec })
+func (s *Suite) refreshFigure(kind ConfigKind, id, title string, paperGMean float64) (Figure, error) {
+	series, err := s.series(kind, id, func(pm PairMetrics) float64 { return pm.SmartRefreshesPerSec })
+	if err != nil {
+		return Figure{}, err
+	}
 	return Figure{
 		ID: id, Title: title, Unit: "refreshes/s",
 		Series:        series,
 		Baseline:      kind.DRAM().BaselineRefreshesPerSecond(),
 		MeasuredGMean: series.GeoMean(),
 		PaperGMean:    paperGMean,
-	}
+	}, nil
 }
 
 // Figure 7/10/13/16: relative refresh energy savings.
 
 // Fig7 reproduces Figure 7 (2 GB refresh energy savings; paper GMEAN
 // 52.57%).
-func (s *Suite) Fig7() Figure {
+func (s *Suite) Fig7() (Figure, error) {
 	return s.savingsFigure(Conv2GB, "fig7", "Relative refresh energy savings, 2GB DRAM",
 		func(pm PairMetrics) float64 { return pm.RefreshEnergySavingPct }, 52.57)
 }
 
 // Fig10 reproduces Figure 10 (4 GB; paper GMEAN 23.76%).
-func (s *Suite) Fig10() Figure {
+func (s *Suite) Fig10() (Figure, error) {
 	return s.savingsFigure(Conv4GB, "fig10", "Relative refresh energy savings, 4GB DRAM",
 		func(pm PairMetrics) float64 { return pm.RefreshEnergySavingPct }, 23.76)
 }
 
 // Fig13 reproduces Figure 13 (3D 64 ms; paper GMEAN 21.91%).
-func (s *Suite) Fig13() Figure {
+func (s *Suite) Fig13() (Figure, error) {
 	return s.savingsFigure(Stacked3D64, "fig13", "Relative refresh energy savings, 64MB 3D DRAM cache, 64ms",
 		func(pm PairMetrics) float64 { return pm.RefreshEnergySavingPct }, 21.91)
 }
 
 // Fig16 reproduces Figure 16 (3D 32 ms; paper GMEAN 15.79%).
-func (s *Suite) Fig16() Figure {
+func (s *Suite) Fig16() (Figure, error) {
 	return s.savingsFigure(Stacked3D32, "fig16", "Relative refresh energy savings, 64MB 3D DRAM cache, 32ms",
 		func(pm PairMetrics) float64 { return pm.RefreshEnergySavingPct }, 15.79)
 }
@@ -251,50 +270,53 @@ func (s *Suite) Fig16() Figure {
 
 // Fig8 reproduces Figure 8 (2 GB total energy savings; paper GMEAN
 // 12.13%).
-func (s *Suite) Fig8() Figure {
+func (s *Suite) Fig8() (Figure, error) {
 	return s.savingsFigure(Conv2GB, "fig8", "Relative total energy savings, 2GB DRAM",
 		func(pm PairMetrics) float64 { return pm.TotalEnergySavingPct }, 12.13)
 }
 
 // Fig11 reproduces Figure 11 (4 GB; paper GMEAN 9.10%).
-func (s *Suite) Fig11() Figure {
+func (s *Suite) Fig11() (Figure, error) {
 	return s.savingsFigure(Conv4GB, "fig11", "Relative total energy savings, 4GB DRAM",
 		func(pm PairMetrics) float64 { return pm.TotalEnergySavingPct }, 9.10)
 }
 
 // Fig14 reproduces Figure 14 (3D 64 ms; paper GMEAN 9.37%).
-func (s *Suite) Fig14() Figure {
+func (s *Suite) Fig14() (Figure, error) {
 	return s.savingsFigure(Stacked3D64, "fig14", "Relative total energy savings, 64MB 3D DRAM cache, 64ms",
 		func(pm PairMetrics) float64 { return pm.TotalEnergySavingPct }, 9.37)
 }
 
 // Fig17 reproduces Figure 17 (3D 32 ms; paper GMEAN 6.87%).
-func (s *Suite) Fig17() Figure {
+func (s *Suite) Fig17() (Figure, error) {
 	return s.savingsFigure(Stacked3D32, "fig17", "Relative total energy savings, 64MB 3D DRAM cache, 32ms",
 		func(pm PairMetrics) float64 { return pm.TotalEnergySavingPct }, 6.87)
 }
 
 // Fig18 reproduces Figure 18 (performance improvement on the 3D cache at
 // 32 ms; paper GMEAN 0.11%, all below 1%).
-func (s *Suite) Fig18() Figure {
+func (s *Suite) Fig18() (Figure, error) {
 	return s.savingsFigure(Stacked3D32, "fig18", "Performance improvement, 64MB 3D DRAM cache, 32ms",
 		func(pm PairMetrics) float64 { return pm.PerfImprovementPct }, 0.11)
 }
 
-func (s *Suite) savingsFigure(kind ConfigKind, id, title string, pick func(PairMetrics) float64, paper float64) Figure {
-	series := s.series(kind, id, pick)
+func (s *Suite) savingsFigure(kind ConfigKind, id, title string, pick func(PairMetrics) float64, paper float64) (Figure, error) {
+	series, err := s.series(kind, id, pick)
+	if err != nil {
+		return Figure{}, err
+	}
 	return Figure{
 		ID: id, Title: title, Unit: "% savings",
 		Series:        series,
 		MeasuredGMean: series.GeoMean(),
 		PaperGMean:    paper,
-	}
+	}, nil
 }
 
 // figureFuncs maps figure identifiers to their constructors without
 // executing any sweep.
-func (s *Suite) figureFuncs() (order []string, funcs map[string]func() Figure) {
-	funcs = map[string]func() Figure{
+func (s *Suite) figureFuncs() (order []string, funcs map[string]func() (Figure, error)) {
+	funcs = map[string]func() (Figure, error){
 		"fig6": s.Fig6, "fig7": s.Fig7, "fig8": s.Fig8,
 		"fig9": s.Fig9, "fig10": s.Fig10, "fig11": s.Fig11,
 		"fig12": s.Fig12, "fig13": s.Fig13, "fig14": s.Fig14,
@@ -314,14 +336,19 @@ func (s *Suite) FigureIDs() []string {
 	return order
 }
 
-// AllFigures produces every reproduced figure in paper order.
-func (s *Suite) AllFigures() []Figure {
+// AllFigures produces every reproduced figure in paper order. On the
+// first failure (cancellation included) it stops and returns that error.
+func (s *Suite) AllFigures() ([]Figure, error) {
 	order, funcs := s.figureFuncs()
 	out := make([]Figure, 0, len(order))
 	for _, id := range order {
-		out = append(out, funcs[id]())
+		fig, err := funcs[id]()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
 	}
-	return out
+	return out, nil
 }
 
 // FigureByID returns one figure by its identifier ("fig6".."fig18"),
@@ -329,7 +356,7 @@ func (s *Suite) AllFigures() []Figure {
 func (s *Suite) FigureByID(id string) (Figure, error) {
 	order, funcs := s.figureFuncs()
 	if f, ok := funcs[id]; ok {
-		return f(), nil
+		return f()
 	}
 	known := append([]string(nil), order...)
 	sort.Strings(known)

@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"smartrefresh/internal/cache"
@@ -123,8 +124,16 @@ func (r RunResult) RefreshesPerSecond() float64 {
 // Run simulates one benchmark profile against one configuration and
 // policy and returns the post-warmup measured window.
 func Run(cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOptions) RunResult {
+	res, _ := RunContext(context.Background(), cfg, prof, kind, opts)
+	return res // the background context never cancels, so err is nil
+}
+
+// RunContext is Run with cooperative cancellation: the record loop and
+// the controller's tick/advance drains check ctx and abort with its
+// error, discarding the partial measurement.
+func RunContext(ctx context.Context, cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOptions) (RunResult, error) {
 	opts = opts.withDefaults(cfg.RefreshInterval())
-	return execute(runJob{
+	return execute(ctx, runJob{
 		cfg:       cfg,
 		benchmark: prof.Name,
 		kind:      kind,
@@ -155,7 +164,14 @@ type runJob struct {
 // snapshot is taken exactly once (at the first measured record, or at the
 // warmup boundary for idle streams), then ctl.Finish finalises the module
 // before the results are read.
-func execute(j runJob) RunResult {
+//
+// Cancellation points: the record loop checks ctx every cancelCheckStride
+// records, and the controller's long tick/advance drains poll it through
+// memctrl.Options.Interrupt — so cancellation latency is bounded even on
+// idle streams where the final Finish drains a whole measurement window
+// of refresh ticks. A non-nil error means the partial result was
+// discarded; the returned RunResult is then zero.
+func execute(ctx context.Context, j runJob) (RunResult, error) {
 	opts := j.opts
 	mcOpts := memctrl.Options{
 		CheckRetention:   opts.CheckRetention,
@@ -165,6 +181,16 @@ func execute(j runJob) RunResult {
 		mcOpts.Trace = j.trace
 		mcOpts.Metrics = j.metrics
 		mcOpts.MetricsPrefix = j.cfg.Name + "/" + j.benchmark + "/" + j.kind.String()
+	}
+	if ctx.Done() != nil {
+		// Only a cancellable context pays for the per-drain polls.
+		mcOpts.Interrupt = func() bool { return ctx.Err() != nil }
+	}
+	cancelled := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("experiment: run %s/%s/%s: %w", j.cfg.Name, j.benchmark, j.kind, err)
+		}
+		return nil
 	}
 	ctl := memctrl.MustNew(j.cfg, j.policy, mcOpts)
 
@@ -189,10 +215,15 @@ func execute(j runJob) RunResult {
 		ctl.Submit(memctrl.Request{Time: t, Addr: addr, Write: write})
 	}
 
-	for {
+	for n := 0; ; n++ {
 		rec, ok := j.source.Next()
 		if !ok || rec.Time >= end {
 			break
+		}
+		if n&(cancelCheckStride-1) == 0 {
+			if err := cancelled(); err != nil {
+				return RunResult{}, err
+			}
 		}
 		if !warmed && rec.Time >= opts.Warmup {
 			takeWarmupSnapshot(rec.Time)
@@ -214,6 +245,11 @@ func execute(j runJob) RunResult {
 		takeWarmupSnapshot(opts.Warmup)
 	}
 	ctl.Finish(end)
+	if err := cancelled(); err != nil {
+		// The controller's drains abort early on interrupt, so anything
+		// measured after the cancellation instant is partial state.
+		return RunResult{}, err
+	}
 
 	full := ctl.Results(end)
 	full.Module = full.Module.Sub(warmModule)
@@ -235,8 +271,14 @@ func execute(j runJob) RunResult {
 		Window:       opts.Measure,
 		Results:      full,
 		RetentionErr: ctl.RetentionErr(),
-	}
+	}, nil
 }
+
+// cancelCheckStride is how many trace records the simulation loop
+// processes between context checks: rare enough to stay invisible on the
+// hot path, frequent enough that cancellation lands in well under a
+// millisecond of wall time.
+const cancelCheckStride = 4096
 
 // PairMetrics compares Smart Refresh against the CBR baseline for one
 // benchmark on one configuration — the quantities every figure reports.

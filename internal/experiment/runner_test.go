@@ -127,7 +127,10 @@ func TestSuiteFiguresSubset(t *testing.T) {
 	s := NewSuite()
 	s.Benchmarks = []string{"fasta", "gcc"}
 	s.Opts = fastOpts(false)
-	fig6 := s.Fig6()
+	fig6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fig6.Series.Len() != 2 {
 		t.Fatalf("fig6 series has %d points", fig6.Series.Len())
 	}
@@ -143,8 +146,14 @@ func TestSuiteFiguresSubset(t *testing.T) {
 	}
 	// Figures 7 and 8 reuse the same sweep (memoised): no new runs, and
 	// savings must be positive for these benchmarks.
-	fig7 := s.Fig7()
-	fig8 := s.Fig8()
+	fig7, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, b := range []string{"fasta", "gcc"} {
 		if v, _ := fig7.Series.Get(b); v <= 0 {
 			t.Errorf("fig7 %s = %v", b, v)
@@ -166,11 +175,17 @@ func TestSuite3DFigures(t *testing.T) {
 	s := NewSuite()
 	s.Benchmarks = []string{"fasta", "mummer"}
 	s.Opts = RunOptions{Warmup: 64 * sim.Millisecond, Measure: 128 * sim.Millisecond}
-	fig12 := s.Fig12()
+	fig12, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fig12.Baseline != 1024000 {
 		t.Errorf("fig12 baseline = %v", fig12.Baseline)
 	}
-	fig15 := s.Fig15()
+	fig15, err := s.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fig15.Baseline != 2048000 {
 		t.Errorf("fig15 baseline = %v", fig15.Baseline)
 	}
@@ -187,13 +202,20 @@ func TestSuite3DFigures(t *testing.T) {
 		}
 	}
 	// Figures 13/14 and 16/17 reuse the same sweeps.
-	for _, f := range []Figure{s.Fig13(), s.Fig14(), s.Fig16(), s.Fig17()} {
+	for _, fn := range []func() (Figure, error){s.Fig13, s.Fig14, s.Fig16, s.Fig17} {
+		f, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if v, ok := f.Series.Get("mummer"); !ok || v <= 0 {
 			t.Errorf("%s: mummer saving = %v", f.ID, v)
 		}
 	}
 	// Figure 18 exists and is bounded (below 1% per the paper).
-	fig18 := s.Fig18()
+	fig18, err := s.Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, label := range fig18.Series.Labels() {
 		v, _ := fig18.Series.Get(label)
 		if v > 1 {
@@ -226,7 +248,11 @@ func TestFigureFormat(t *testing.T) {
 	s.Benchmarks = []string{"fasta"}
 	s.Opts = fastOpts(false)
 	var sb strings.Builder
-	s.Fig6().Format(&sb)
+	fig6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6.Format(&sb)
 	out := sb.String()
 	for _, want := range []string{"fig6", "baseline = 2048000", "fasta", "GMEAN", "paper: 691435"} {
 		if !strings.Contains(out, want) {
@@ -241,7 +267,9 @@ func TestSuiteProgressCallback(t *testing.T) {
 	s.Opts = fastOpts(false)
 	var lines []string
 	s.Progress = func(l string) { lines = append(lines, l) }
-	s.Sweep(Conv2GB)
+	if _, err := s.Sweep(Conv2GB); err != nil {
+		t.Fatal(err)
+	}
 	if len(lines) != 1 || !strings.Contains(lines[0], "fasta") {
 		t.Errorf("progress lines = %v", lines)
 	}

@@ -58,6 +58,14 @@ type Options struct {
 	// MetricsPrefix namespaces this controller's metrics; empty derives
 	// "<config>/<policy>".
 	MetricsPrefix string
+	// Interrupt, when non-nil, is polled periodically inside the
+	// controller's tick/advance event drains; once it reports true the
+	// drain returns early. This is the cooperative-cancellation hook for
+	// context-aware callers (an aborted drain leaves the controller's
+	// statistics partial, so the caller must discard the run). Nil — the
+	// default — keeps the drain loop branch-free beyond a pointer
+	// compare.
+	Interrupt func() bool
 }
 
 // DefaultIdleClose is the default page-close timeout.
@@ -102,6 +110,9 @@ type Controller struct {
 	// refreshesDroppedSR counts policy refresh commands elided because
 	// their rank was in self-refresh.
 	refreshesDroppedSR uint64
+
+	// interrupt is Options.Interrupt; nil when cancellation is not wired.
+	interrupt func() bool
 }
 
 // RetentionGrace is the command-latency allowance added to the checked
@@ -132,6 +143,7 @@ func New(cfg config.DRAM, policy core.Policy, opts Options) (*Controller, error)
 		refreshes:   map[dram.RefreshKind]uint64{},
 		idleClose:   idleClose,
 		bankLastUse: make([]sim.Time, cfg.Geometry.TotalBanks()),
+		interrupt:   opts.Interrupt,
 	}
 	if opts.CheckRetention {
 		deadline := cfg.Timing.RefreshInterval + RetentionGrace + opts.RetentionSlack
@@ -395,13 +407,25 @@ func (c *Controller) runRefreshTick(due sim.Time) {
 	}
 }
 
+// interruptCheckStride is how many drained events pass between
+// Options.Interrupt polls: a long advance over an idle window processes
+// tens of thousands of refresh ticks, so polling every 1024 keeps
+// cancellation latency in the microseconds while costing the hot loop
+// nothing measurable.
+const interruptCheckStride = 1024
+
 // drainRefreshes processes internal events (refresh policy ticks and idle
 // page-closes) in time order up to t, so a refresh due just before a
 // page-close deadline sees the bank state it would have seen in real
 // time. Stepping event by event keeps the timestamps exact even when
-// demand traffic is sparse.
+// demand traffic is sparse. When Options.Interrupt reports true the
+// drain abandons the remaining events — the caller is tearing the run
+// down and its statistics will be discarded.
 func (c *Controller) drainRefreshes(t sim.Time) {
-	for {
+	for n := 0; ; n++ {
+		if c.interrupt != nil && n&(interruptCheckStride-1) == 0 && c.interrupt() {
+			return
+		}
 		rt, rok := c.policy.NextTick()
 		ct, flat, cok := c.nextIdleClose()
 		st, ri, sok := c.nextSelfRefreshEntry()

@@ -62,10 +62,12 @@ func (q *EventQueue) Pop() *Event {
 }
 
 // RunUntil fires events in order until the queue is empty or the next
-// event is after the deadline. It returns the time of the last fired event
-// (or the deadline if nothing fired after it).
+// event is after the deadline. It returns the time of the last fired event,
+// or the deadline itself when nothing fired (empty queue, or every pending
+// event is scheduled after the deadline) — so the return value is always a
+// valid "simulated up to" horizon and never an artificial Time(0).
 func (q *EventQueue) RunUntil(deadline Time) Time {
-	last := Time(0)
+	last := deadline
 	for {
 		t, ok := q.PeekTime()
 		if !ok || t > deadline {

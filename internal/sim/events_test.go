@@ -58,6 +58,32 @@ func TestEventQueueDeadline(t *testing.T) {
 	}
 }
 
+// Regression for the RunUntil contract: when nothing fires, the
+// returned horizon is the deadline, not Time(0).
+func TestEventQueueRunUntilEmptyQueue(t *testing.T) {
+	var q EventQueue
+	if last := q.RunUntil(42); last != 42 {
+		t.Errorf("RunUntil on empty queue = %d, want deadline 42", last)
+	}
+}
+
+func TestEventQueueRunUntilAllEventsAfterDeadline(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	q.Schedule(100, func(Time) { fired++ })
+	q.Schedule(200, func(Time) { fired++ })
+	last := q.RunUntil(42)
+	if fired != 0 {
+		t.Errorf("fired = %d, want 0", fired)
+	}
+	if last != 42 {
+		t.Errorf("RunUntil with all events after deadline = %d, want deadline 42", last)
+	}
+	if q.Len() != 2 {
+		t.Errorf("queue length = %d, want 2 (events must stay pending)", q.Len())
+	}
+}
+
 func TestEventQueueCancel(t *testing.T) {
 	var q EventQueue
 	fired := false

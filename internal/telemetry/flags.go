@@ -3,11 +3,14 @@ package telemetry
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"strings"
+
+	"smartrefresh/internal/atomicio"
 )
 
 // Flags bundles the standard telemetry CLI surface shared by the
@@ -102,15 +105,11 @@ func (f *Flags) Finish() error {
 		if f.MetricsPath == "-" {
 			return write(os.Stdout)
 		}
-		file, err := os.Create(f.MetricsPath)
-		if err != nil {
-			return err
-		}
-		err = write(file)
-		if cerr := file.Close(); err == nil {
-			err = cerr
-		}
-		return err
+		// Atomic replacement: an encoding or I/O failure leaves any
+		// previous dump at the path intact instead of a torn file.
+		return atomicio.WriteFile(f.MetricsPath, func(w io.Writer) error {
+			return write(w)
+		})
 	}
 	return nil
 }

@@ -23,11 +23,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"sync"
 	"time"
 
+	"smartrefresh/internal/atomicio"
 	"smartrefresh/internal/sim"
 )
 
@@ -312,17 +312,13 @@ func (t *Tracer) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteFile writes the trace to path (see Write).
+// WriteFile writes the trace to path (see Write). The file is replaced
+// atomically: a failure at any stage — encoding, flush, sync or rename —
+// is reported and leaves any previous trace at path untouched, so a
+// crash or full disk can never truncate an existing trace to a torn
+// JSON prefix.
 func (t *Tracer) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, t.Write)
 }
 
 // writeEvent renders one event as a JSON object.

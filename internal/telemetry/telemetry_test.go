@@ -3,6 +3,9 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -279,5 +282,140 @@ func TestCSVEscape(t *testing.T) {
 	}
 	if got := csvEscape("plain"); got != "plain" {
 		t.Errorf("csvEscape = %q", got)
+	}
+}
+
+// failWriter errors once limit bytes have been accepted, modelling a
+// full disk or closed pipe mid-dump.
+type failWriter struct {
+	limit int
+	n     int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		ok := w.limit - w.n
+		if ok < 0 {
+			ok = 0
+		}
+		w.n += ok
+		return ok, errors.New("injected write failure")
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// A write failure at any point of the dump must surface as an error,
+// not vanish inside the buffered encoder. This guards the regression
+// where a short write during the trace dump was silently swallowed and
+// the command exited zero with a truncated file.
+func TestTracerWriteErrorPropagates(t *testing.T) {
+	tr := NewTracer()
+	sc := tr.Scope("err")
+	for i := 0; i < 100; i++ {
+		sc.Command(CmdActivate, 0, i, sim.Time(i)*sim.Nanosecond, sim.Time(i+1)*sim.Nanosecond)
+	}
+	for _, limit := range []int{0, 10, 1 << 10} {
+		if err := tr.Write(&failWriter{limit: limit}); err == nil {
+			t.Errorf("limit %d: Write reported no error on a failing writer", limit)
+		}
+	}
+	// The nil tracer writes a stub object; its error must propagate too.
+	var nilTracer *Tracer
+	if err := nilTracer.Write(&failWriter{}); err == nil {
+		t.Error("nil tracer Write reported no error on a failing writer")
+	}
+}
+
+func TestRegistryWriteErrorPropagates(t *testing.T) {
+	reg := NewRegistry()
+	var c stats.Counter
+	c.Add(3)
+	reg.RegisterCounter("a/count", &c)
+	reg.RegisterGauge("a/gauge", func() float64 { return 1.5 })
+	if err := reg.WriteJSON(&failWriter{limit: 4}); err == nil {
+		t.Error("WriteJSON reported no error on a failing writer")
+	}
+	if err := reg.WriteCSV(&failWriter{limit: 4}); err == nil {
+		t.Error("WriteCSV reported no error on a failing writer")
+	}
+}
+
+// WriteFile replaces the trace atomically: a failure (here: an
+// unwritable directory) leaves no partial file behind, and a successful
+// rewrite fully replaces the previous trace.
+func TestTracerWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+
+	tr := NewTracer()
+	tr.Scope("one").Command(CmdActivate, 0, 0, 0, 2)
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := tr.WriteFile(filepath.Join(dir, "missing", "trace.json")); err == nil {
+		t.Error("WriteFile into a missing directory reported no error")
+	}
+
+	tr.Scope("two").Command(CmdRead, 0, 0, 0, 2*sim.Nanosecond)
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first, second) {
+		t.Error("rewrite did not replace the trace file")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("directory holds %d entries, want just the trace (no temp litter)", len(ents))
+	}
+}
+
+// Flags.Finish must fail loudly when an output cannot be written, for
+// both the trace and the metrics dump.
+func TestFlagsFinishWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "missing", "out.json")
+
+	var count stats.Counter
+	count.Add(1)
+
+	f := &Flags{TracePath: bad}
+	f.Tracer().Scope("x").Command(CmdActivate, 0, 0, 0, 2)
+	if err := f.Finish(); err == nil {
+		t.Error("Finish reported no error for an unwritable trace path")
+	}
+
+	f = &Flags{MetricsPath: bad}
+	f.Registry().RegisterCounter("c", &count)
+	if err := f.Finish(); err == nil {
+		t.Error("Finish reported no error for an unwritable metrics path")
+	}
+
+	// And the happy path still lands both files atomically.
+	f = &Flags{
+		TracePath:   filepath.Join(dir, "trace.json"),
+		MetricsPath: filepath.Join(dir, "metrics.csv"),
+	}
+	f.Tracer().Scope("x").Command(CmdActivate, 0, 0, 0, 2)
+	f.Registry().RegisterCounter("c", &count)
+	if err := f.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	for _, p := range []string{f.TracePath, f.MetricsPath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("Finish did not write %s: %v", p, err)
+		}
 	}
 }
