@@ -39,6 +39,8 @@ func TestPolicyAdvanceSteadyStateAllocFree(t *testing.T) {
 		// A whole burst per step: exercises the chunked emission loop.
 		{"burst", smartrefresh.NewBurstPolicy(cfg), interval},
 		{"oracle", smartrefresh.NewOraclePolicy(cfg), tickStep},
+		{"darp", smartrefresh.NewDARPPolicy(cfg, smartrefresh.DefaultPerBankConfig()), tickStep},
+		{"sarp", smartrefresh.NewSARPPolicy(cfg, smartrefresh.DefaultPerBankConfig()), tickStep},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -73,5 +75,30 @@ func TestControllerSubmitSteadyStateAllocFree(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(200, submit); avg != 0 {
 		t.Errorf("steady-state Submit allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// The per-bank arbiter path — demand observation, slot arbitration,
+// REFpb dispatch — must also stay allocation-free once warm.
+func TestControllerSubmitDARPSteadyStateAllocFree(t *testing.T) {
+	cfg := smartrefresh.Table1_2GB()
+	ctl, err := smartrefresh.NewController(cfg,
+		smartrefresh.NewDARPPolicy(cfg, smartrefresh.DefaultPerBankConfig()),
+		smartrefresh.ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now smartrefresh.Time
+	var i uint64
+	submit := func() {
+		now += 200 * smartrefresh.Nanosecond
+		i++
+		ctl.Submit(smartrefresh.Request{Time: now, Addr: i * 16384, Write: i%4 == 0})
+	}
+	for n := 0; n < 4096; n++ {
+		submit()
+	}
+	if avg := testing.AllocsPerRun(200, submit); avg != 0 {
+		t.Errorf("steady-state DARP Submit allocates %.1f allocs/op, want 0", avg)
 	}
 }

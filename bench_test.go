@@ -285,6 +285,36 @@ func BenchmarkSmartPolicyAdvance(b *testing.B) {
 	_ = cmds
 }
 
+func BenchmarkDARPPolicyAdvance(b *testing.B) {
+	cfg := smartrefresh.Table1_2GB()
+	p := smartrefresh.NewDARPPolicy(cfg, smartrefresh.DefaultPerBankConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t smartrefresh.Time
+	var cmds []smartrefresh.RefreshCommand
+	step := cfg.RefreshInterval() / smartrefresh.Duration(cfg.Geometry.TotalRows())
+	for i := 0; i < b.N; i++ {
+		t += step
+		cmds = p.Advance(t, cmds[:0])
+	}
+	_ = cmds
+}
+
+func BenchmarkSARPPolicyAdvance(b *testing.B) {
+	cfg := smartrefresh.Table1_2GB()
+	p := smartrefresh.NewSARPPolicy(cfg, smartrefresh.DefaultPerBankConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t smartrefresh.Time
+	var cmds []smartrefresh.RefreshCommand
+	step := cfg.RefreshInterval() / smartrefresh.Duration(cfg.Geometry.TotalRows())
+	for i := 0; i < b.N; i++ {
+		t += step
+		cmds = p.Advance(t, cmds[:0])
+	}
+	_ = cmds
+}
+
 func BenchmarkControllerSubmit(b *testing.B) {
 	cfg := smartrefresh.Table1_2GB()
 	ctl, err := smartrefresh.NewController(cfg, smartrefresh.NewSmartPolicy(cfg),

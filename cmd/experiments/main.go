@@ -1,8 +1,9 @@
 // Command experiments regenerates the paper's evaluation: Figures 6-18
 // as per-benchmark tables with measured and published GMEANs, plus the
 // section 4.4 optimality study, the figure 2 stagger ablation, the
-// section 5 queue sizing study, the RAS-only bus overhead ablation, and
-// the section 4.6 idle-OS self-disable experiment.
+// section 5 queue sizing study, the RAS-only bus overhead ablation, the
+// refresh-access-parallelism (DARP/SARP per-bank refresh) study, and the
+// section 4.6 idle-OS self-disable experiment.
 //
 // Simulations run on a worker pool (-jobs, default one worker per CPU)
 // and are memoised, so the figure groups that share a sweep (6/7/8,
@@ -246,6 +247,14 @@ func runAblations(ctx context.Context, eng *experiment.Engine, opts experiment.R
 		fmt.Printf("  %-16s refresh ops=%-8d reduction=%6.2f%% refreshE=%8.3f mJ totalE=%8.3f mJ\n",
 			p.Policy, p.RefreshOps, p.RefreshReductionPct, p.RefreshEnergyMJ, p.TotalEnergyMJ)
 	}
+	fmt.Println()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fmt.Println("== Refresh-access parallelism (DARP/SARP per-bank refresh, benchmark: gcc) ==")
+	fmt.Print(experiment.FormatRefreshParallelismStudy(
+		experiment.RefreshParallelismStudy(eng, gcc, opts)))
 	fmt.Println()
 
 	if err := ctx.Err(); err != nil {

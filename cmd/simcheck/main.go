@@ -11,6 +11,7 @@
 //	simcheck -seeds 1 -start 17 -v     # replay one failing seed verbosely
 //	simcheck -seeds 256 -presets=false # random scenarios only
 //	simcheck -seeds 64 -fingerprint    # print the sweep's SHA-256
+//	simcheck -policies darp,sarp       # only the per-bank policy pair
 //
 // The exit status is 1 when any invariant is violated (or a scenario
 // panics), 0 on a clean sweep, and 130 when interrupted by
@@ -27,6 +28,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -50,6 +52,8 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 	verbose := fs.Bool("v", false, "describe every scenario, not just the dirty ones")
 	fingerprint := fs.Bool("fingerprint", false,
 		"print the SHA-256 fingerprint of all reports (for comparing sweeps across runs)")
+	policiesFlag := fs.String("policies", "",
+		"comma-separated policy subset to run (default all: "+strings.Join(check.PolicyNames(), ",")+")")
 	var tf telemetry.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +61,11 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 	}
 	if *seeds < 0 {
 		fmt.Fprintln(w, "simcheck: -seeds must be >= 0")
+		return 2
+	}
+	policies, err := parsePolicies(*policiesFlag)
+	if err != nil {
+		fmt.Fprintln(w, "simcheck:", err)
 		return 2
 	}
 	if err := tf.Start(); err != nil {
@@ -72,7 +81,7 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 		scenarios = append(scenarios, check.PresetScenarios()...)
 	}
 
-	reports := checkAll(ctx, scenarios, *workers, &tf)
+	reports := checkAll(ctx, scenarios, *workers, &tf, policies)
 	if err := ctx.Err(); err != nil {
 		fmt.Fprintf(w, "simcheck: interrupted after %d of %d scenarios\n", len(reports), len(scenarios))
 		return 130
@@ -113,7 +122,7 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 // On cancellation, dispatch stops, in-flight scenarios abort at their
 // next cancellation point, and the completed prefix of reports is
 // returned (the caller decides whether a prefix is worth printing).
-func checkAll(ctx context.Context, scenarios []check.Scenario, workers int, tf *telemetry.Flags) []check.Report {
+func checkAll(ctx context.Context, scenarios []check.Scenario, workers int, tf *telemetry.Flags, policies []string) []check.Report {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -125,7 +134,7 @@ func checkAll(ctx context.Context, scenarios []check.Scenario, workers int, tf *
 	done := make([]bool, len(scenarios))
 	if workers <= 1 {
 		for i, sc := range scenarios {
-			rep, err := check.CheckScenarioContext(ctx, sc, tr, reg)
+			rep, err := check.CheckScenarioSelected(ctx, sc, tr, reg, policies)
 			if err != nil {
 				return completed(out, done)
 			}
@@ -140,7 +149,7 @@ func checkAll(ctx context.Context, scenarios []check.Scenario, workers int, tf *
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rep, err := check.CheckScenarioContext(ctx, scenarios[i], tr, reg)
+				rep, err := check.CheckScenarioSelected(ctx, scenarios[i], tr, reg, policies)
 				if err != nil {
 					continue // drain remaining indices without running them
 				}
@@ -159,6 +168,34 @@ dispatch:
 	close(next)
 	wg.Wait()
 	return completed(out, done)
+}
+
+// parsePolicies splits and validates the -policies flag; empty selects
+// the full differential set (nil filter).
+func parsePolicies(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool)
+	for _, n := range check.PolicyNames() {
+		known[n] = true
+	}
+	parts := strings.Split(s, ",")
+	policies := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !known[p] {
+			return nil, fmt.Errorf("unknown policy %q (known: %s)", p, strings.Join(check.PolicyNames(), ","))
+		}
+		policies = append(policies, p)
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("-policies %q names no policies", s)
+	}
+	return policies, nil
 }
 
 // completed compacts the report slice to the contiguous completed

@@ -88,6 +88,33 @@ func TestFingerprintStableAcrossWorkers(t *testing.T) {
 	}
 }
 
+// The -policies flag restricts the differential set to the named
+// policies; bad names exit 2 before any simulation runs.
+func TestPoliciesFilter(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-seeds", "2", "-presets=false", "-v", "-policies", "darp, sarp"}
+	if code := run(context.Background(), args, &out); code != 0 {
+		t.Fatalf("exit %d on filtered sweep:\n%s", code, out.String())
+	}
+	for _, want := range []string{"darp:", "sarp:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("filtered output omits %s:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "smart:") {
+		t.Errorf("filtered sweep still ran smart:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run(context.Background(), []string{"-policies", "bogus"}, &out); code != 2 {
+		t.Errorf("unknown policy: exit %d, want 2:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run(context.Background(), []string{"-policies", " , "}, &out); code != 2 {
+		t.Errorf("empty policy list: exit %d, want 2", code)
+	}
+}
+
 // A cancelled sweep exits 130 and reports the interruption instead of a
 // (misleadingly clean) summary line.
 func TestInterruptedSweepExits130(t *testing.T) {

@@ -36,7 +36,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("smartrefresh-sim", flag.ContinueOnError)
 	cfgName := fs.String("config", "table1-2gb", "module preset: "+strings.Join(presetNames(), ", "))
-	policyName := fs.String("policy", "smart", "refresh policy: cbr, smart, burst, none, oracle, smart-retention")
+	policyName := fs.String("policy", "smart", "refresh policy: cbr, smart, burst, none, oracle, smart-retention, darp, sarp")
 	benchmark := fs.String("benchmark", "gcc", "benchmark profile (see -list); ignored with -trace")
 	tracePath := fs.String("trace", "", "replay a trace file instead of a synthetic benchmark")
 	warmupMS := fs.Int("warmup-ms", 64, "warmup excluded from measurement, ms")
@@ -120,6 +120,10 @@ func parsePolicy(name string) (experiment.PolicyKind, error) {
 		return experiment.PolicyNone, nil
 	case "oracle":
 		return experiment.PolicyOracle, nil
+	case "darp":
+		return experiment.PolicyDARP, nil
+	case "sarp":
+		return experiment.PolicySARP, nil
 	default:
 		return 0, fmt.Errorf("unknown policy %q", name)
 	}
@@ -137,6 +141,8 @@ func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOpt
 	policy := core.NewRetentionAwareSmart(cfg.Geometry, cfg.RefreshInterval(), cfg.Smart, rmap)
 	ctl, err := memctrl.New(cfg, policy, memctrl.Options{
 		CheckRetention:   opts.CheckRetention,
+		RetentionSlack:   experiment.RetentionSlack(cfg, experiment.PolicySmart, opts),
+		RetentionMap:     rmap,
 		SelfRefreshAfter: opts.SelfRefreshAfter,
 		Trace:            tf.Tracer(),
 		Metrics:          tf.Registry(),
@@ -185,6 +191,7 @@ func runTrace(cfg config.DRAM, kind experiment.PolicyKind, path string, opts exp
 	policy := experiment.NewPolicy(cfg, kind)
 	ctl, err := memctrl.New(cfg, policy, memctrl.Options{
 		CheckRetention: opts.CheckRetention,
+		RetentionSlack: experiment.RetentionSlack(cfg, kind, opts),
 		Trace:          tf.Tracer(),
 		Metrics:        tf.Registry(),
 	})

@@ -1,14 +1,14 @@
-// Telemetry: record what the simulated hardware actually did. Three short
-// runs on the 2 GB module — a busy gcc window under Smart Refresh and
-// under the CBR baseline, plus a near-idle window with module
-// self-refresh armed — share one tracer and one metrics registry, then
-// the trace is written as Chrome trace-event JSON.
+// Telemetry: record what the simulated hardware actually did. Four short
+// runs on the 2 GB module — a busy gcc window under Smart Refresh, under
+// the CBR baseline and under per-bank DARP, plus a near-idle window with
+// module self-refresh armed — share one tracer and one metrics registry,
+// then the trace is written as Chrome trace-event JSON.
 //
 // Open the trace at https://ui.perfetto.dev (or chrome://tracing): one
 // process per (config, policy) pair, one thread per DRAM bank carrying
-// ACT/PRE/READ/WRITE/REF-RAS/REF-CBR/IDLE-CLOSE command events, per-rank
-// rows holding SELF-REF residency spans, and the engine's wall-clock job
-// spans on process 0.
+// ACT/PRE/READ/WRITE/REF-RAS/REF-CBR/REF-PB/IDLE-CLOSE command events,
+// per-rank rows holding SELF-REF residency spans, and the engine's
+// wall-clock job spans on process 0.
 //
 // A pre-generated copy of the output is committed next to this file as
 // trace.json; running the example regenerates it in the current
@@ -48,6 +48,7 @@ func main() {
 	for i, res := range eng.RunJobs([]smartrefresh.Job{
 		{Cfg: cfg, Prof: gcc, Policy: smartrefresh.PolicySmart, Opts: busy},
 		{Cfg: cfg, Prof: gcc, Policy: smartrefresh.PolicyCBR, Opts: busy},
+		{Cfg: cfg, Prof: gcc, Policy: smartrefresh.PolicyDARP, Opts: busy},
 		{Cfg: cfg, Prof: idle, Policy: smartrefresh.PolicySmart, Opts: asleep},
 	}) {
 		if res.Err != nil {
@@ -65,6 +66,7 @@ func main() {
 		smartrefresh.CmdActivate, smartrefresh.CmdPrecharge,
 		smartrefresh.CmdRead, smartrefresh.CmdWrite,
 		smartrefresh.CmdRefreshRASOnly, smartrefresh.CmdRefreshCBR,
+		smartrefresh.CmdRefreshPB, smartrefresh.CmdRefreshAB,
 		smartrefresh.CmdSelfRefresh, smartrefresh.CmdIdleClose,
 	} {
 		fmt.Printf("  %-12s %d\n", k, tr.CommandCount(k))

@@ -163,6 +163,23 @@ func IdlePowerStudy(eng *Engine, opts RunOptions) []IdlePowerPoint {
 	return experiment.IdlePowerStudy(eng, opts)
 }
 
+// RefreshParallelismPoint is one row of the refresh-access-parallelism
+// study: a policy's refresh-induced demand stall against the CBR
+// baseline, with its per-bank/overlap operation mix and arbiter counts.
+type RefreshParallelismPoint = experiment.RefreshParallelismPoint
+
+// RefreshParallelismStudy runs the policy zoo — no-refresh floor, CBR,
+// Smart, burst, oracle, DARP and SARP — over one benchmark stream and
+// isolates each policy's refresh-induced demand stall.
+func RefreshParallelismStudy(eng *Engine, prof Profile, opts RunOptions) []RefreshParallelismPoint {
+	return experiment.RefreshParallelismStudy(eng, prof, opts)
+}
+
+// FormatRefreshParallelismStudy renders the study as a table string.
+func FormatRefreshParallelismStudy(points []RefreshParallelismPoint) string {
+	return experiment.FormatRefreshParallelismStudy(points)
+}
+
 // EDRAMPoint is one row of the embedded-DRAM refresh-interval study.
 type EDRAMPoint = experiment.EDRAMPoint
 

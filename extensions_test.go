@@ -79,6 +79,49 @@ func TestReportAPI(t *testing.T) {
 	}
 }
 
+func TestPerBankAPI(t *testing.T) {
+	cfg := smartrefresh.Table1_2GB()
+	cfg.Geometry.Rows = 64 // keep the test light
+	cfg.Power.Geometry = cfg.Geometry
+	pb := smartrefresh.DefaultPerBankConfig()
+	if pb.MaxPostpone != 8 || pb.MaxPullIn != 8 {
+		t.Errorf("per-bank defaults = %+v", pb)
+	}
+	darp := smartrefresh.NewDARPPolicy(cfg, pb)
+	sarp := smartrefresh.NewSARPPolicy(cfg, pb)
+	if darp.Name() != "darp" || sarp.Name() != "sarp" {
+		t.Errorf("names = %q, %q", darp.Name(), sarp.Name())
+	}
+	// Both walk the per-bank cadence: one refresh per bank slot over an
+	// idle interval (DARP's pull-in may run ahead by the credit).
+	interval := cfg.RefreshInterval()
+	cmds := sarp.Advance(smartrefresh.Time(interval), nil)
+	if len(cmds) == 0 {
+		t.Fatal("sarp emitted nothing over a full interval")
+	}
+	for _, c := range cmds {
+		if !c.Overlap {
+			t.Fatal("sarp command not overlapped")
+		}
+		if c.Row != -1 {
+			t.Fatal("per-bank refresh should be row-oblivious")
+		}
+	}
+	if cmds = darp.Advance(smartrefresh.Time(interval), nil); len(cmds) == 0 {
+		t.Fatal("darp emitted nothing over a full interval")
+	}
+	if st := darp.Stats(); st.RefreshesPulledIn == 0 {
+		t.Errorf("idle darp never pulled in: %+v", st)
+	}
+	if smartrefresh.CmdRefreshPB.String() != "REF-PB" ||
+		smartrefresh.CmdRefreshAB.String() != "REF-AB" {
+		t.Error("per-bank trace kinds misnamed")
+	}
+	if smartrefresh.PolicyDARP.String() != "darp" || smartrefresh.PolicySARP.String() != "sarp" {
+		t.Error("per-bank policy kinds misnamed")
+	}
+}
+
 func TestAblationAPIs(t *testing.T) {
 	prof, err := smartrefresh.ProfileByName("gcc")
 	if err != nil {
@@ -96,5 +139,12 @@ func TestAblationAPIs(t *testing.T) {
 	}
 	if pts := smartrefresh.RetentionAwareStudy(nil, prof, opts); len(pts) != 3 {
 		t.Errorf("retention study points = %d", len(pts))
+	}
+	pts := smartrefresh.RefreshParallelismStudy(nil, prof, opts)
+	if len(pts) != 7 {
+		t.Fatalf("parallelism study points = %d", len(pts))
+	}
+	if out := smartrefresh.FormatRefreshParallelismStudy(pts); !strings.Contains(out, "darp") {
+		t.Errorf("parallelism table missing darp:\n%s", out)
 	}
 }

@@ -2,20 +2,27 @@
 // harness for the simulator. A Scenario (a DRAM configuration, a
 // synthetic workload and a run length, all derived deterministically from
 // a seed) is executed under every refresh policy — Smart Refresh, the
-// CBR/burst/oracle/no-refresh baselines and the retention-aware
-// extension — and the results are cross-checked against the properties
-// the paper's correctness and optimality arguments rest on:
+// CBR/burst/oracle/no-refresh baselines, the retention-aware extension
+// and the per-bank refresh-access-parallelism pair (DARP/SARP) — and the
+// results are cross-checked against the properties the paper's
+// correctness and optimality arguments rest on:
 //
 //   - every refreshing policy honours the retention deadline (section
 //     4.3), verified by the memctrl retention checker with a slack
-//     matching the policy's documented transition bound;
+//     matching the policy's documented transition bound — for DARP that
+//     slack covers the full postponement/pull-in deferral window;
 //   - Smart Refresh's refresh count lies between the oracle's and CBR's,
-//     up to a quantization slack (sections 4.4 and 4.6);
+//     up to a quantization slack (sections 4.4 and 4.6), and the per-bank
+//     policies' counts match distributed CBR's nominal cadence up to the
+//     deferral window;
+//   - the per-bank refresh deficit never exceeds the JEDEC-style
+//     postponement window (MaxPostpone owed refreshes);
 //   - the pending refresh request queue never exceeds its configured
 //     depth (section 5);
 //   - the energy breakdown's components sum to its totals;
 //   - policy-side and module-side refresh counts agree exactly, with
-//     self-refresh-covered commands accounted separately; and
+//     self-refresh-covered commands accounted separately and module ops
+//     decomposing exactly into CBR + RAS-only + per-bank + all-bank; and
 //   - rerunning a scenario is bit-identical.
 //
 // The harness is exposed three ways: the property-test suite in this
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strings"
 
 	"smartrefresh/internal/config"
 	"smartrefresh/internal/core"
@@ -108,6 +116,9 @@ type policyCase struct {
 	retMap *core.RetentionMap
 	// refreshes marks policies that must keep every row alive.
 	refreshes bool
+	// perBank marks the refresh-access-parallelism cases and carries
+	// their deferral window for the deficit and pending-burst bounds.
+	perBank *core.PerBankConfig
 }
 
 // baseSlack absorbs command queueing behind demand traffic beyond the
@@ -139,6 +150,16 @@ func policyCases(sc Scenario) []policyCase {
 	// serialise per bank at TRefreshRow each.
 	burstSlack := baseSlack + transition + sim.Duration(g.Rows)*sc.Cfg.Timing.TRefreshRow
 
+	// The per-bank pair walks each bank's counter at Rows slots per
+	// interval. DARP may run a slot MaxPostpone slot periods late, and a
+	// pulled-in pass shifts the walk the other way, so the worst
+	// row-to-row gap stretches by the whole deferral window; SARP keeps
+	// the fixed cadence and only pays stagger and quantization.
+	pbCfg := core.DefaultPerBankConfig()
+	pbSlot := interval / sim.Duration(g.Rows)
+	darpSlack := baseSlack + transition + sim.Duration(pbCfg.MaxPostpone+pbCfg.MaxPullIn+4)*pbSlot
+	sarpSlack := baseSlack + transition + 4*pbSlot
+
 	rmap := core.NewRetentionMap(g, core.DefaultRetentionClasses(), sc.Seed)
 	rcfg := sc.Cfg.Smart
 	rcfg.SelfDisable = false
@@ -155,7 +176,17 @@ func policyCases(sc Scenario) []policyCase {
 			make: func() core.Policy { return core.NoRefresh{} }},
 		{name: "smart-retention", refreshes: true, slack: baseSlack + transition + serial, retMap: rmap,
 			make: func() core.Policy { return core.NewRetentionAwareSmart(g, interval, rcfg, rmap) }},
+		{name: "darp", refreshes: true, slack: darpSlack, perBank: &pbCfg,
+			make: func() core.Policy { return core.NewDARP(g, interval, pbCfg) }},
+		{name: "sarp", refreshes: true, slack: sarpSlack, perBank: &pbCfg,
+			make: func() core.Policy { return core.NewSARP(g, interval, pbCfg) }},
 	}
+}
+
+// PolicyNames lists the differential policy set in run order — the valid
+// inputs to CheckScenarioSelected (and cmd/simcheck's -policies flag).
+func PolicyNames() []string {
+	return []string{"smart", "cbr", "burst", "oracle", "none", "smart-retention", "darp", "sarp"}
 }
 
 // runPolicy executes one policy over the scenario, converting panics
@@ -243,6 +274,30 @@ func CheckScenarioTraced(sc Scenario, tr *telemetry.Tracer, reg *telemetry.Regis
 // never evaluated against the invariants, which would produce phantom
 // violations.
 func CheckScenarioContext(ctx context.Context, sc Scenario, tr *telemetry.Tracer, reg *telemetry.Registry) (Report, error) {
+	return CheckScenarioSelected(ctx, sc, tr, reg, nil)
+}
+
+// CheckScenarioSelected is CheckScenarioContext restricted to a subset of
+// the differential set: only the named policies run (nil or empty =
+// everything). Cross-policy refresh-count bounds are evaluated only when
+// every policy they relate is selected, so a filtered sweep never reports
+// phantom bound violations against runs that did not happen. Unknown
+// names are an error, not a silent no-op.
+func CheckScenarioSelected(ctx context.Context, sc Scenario, tr *telemetry.Tracer, reg *telemetry.Registry, policies []string) (Report, error) {
+	selected := map[string]bool{}
+	if len(policies) > 0 {
+		known := map[string]bool{}
+		for _, n := range PolicyNames() {
+			known[n] = true
+		}
+		for _, n := range policies {
+			if !known[n] {
+				return Report{}, fmt.Errorf("check: unknown policy %q (known: %s)", n, strings.Join(PolicyNames(), ", "))
+			}
+			selected[n] = true
+		}
+	}
+
 	rep := Report{Scenario: sc}
 	add := func(policy, invariant, format string, args ...any) {
 		rep.Violations = append(rep.Violations, Violation{
@@ -255,6 +310,9 @@ func CheckScenarioContext(ctx context.Context, sc Scenario, tr *telemetry.Tracer
 
 	byName := map[string]PolicyRun{}
 	for _, pc := range policyCases(sc) {
+		if len(selected) > 0 && !selected[pc.name] {
+			continue
+		}
 		run := runPolicy(ctx, sc, pc, tr, reg)
 		rerun := runPolicy(ctx, sc, pc, nil, nil)
 		if err := ctx.Err(); err != nil {
@@ -268,6 +326,7 @@ func CheckScenarioContext(ctx context.Context, sc Scenario, tr *telemetry.Tracer
 		checkRun(sc, pc, run, add)
 	}
 	checkRefreshBounds(sc, byName, add)
+	checkPerBankBounds(sc, byName, add)
 	return rep, nil
 }
 
@@ -299,9 +358,21 @@ func checkRun(sc Scenario, pc policyCase, run PolicyRun, add func(policy, invari
 
 	// Section 5: a tick emits at most Segments requests and the queue
 	// drains every Advance, so its high-water mark is bounded by the
-	// configured depth.
-	if depth := sc.Cfg.Smart.QueueDepth; ps.MaxPendingPerTick > depth {
-		add(pc.name, "queue-depth", "MaxPendingPerTick %d > QueueDepth %d", ps.MaxPendingPerTick, depth)
+	// configured depth. The per-bank pair has its own burst bound instead:
+	// one slot emits at most a full catch-up plus a full pull-in.
+	depth := sc.Cfg.Smart.QueueDepth
+	if pc.perBank != nil {
+		depth = pc.perBank.MaxPostpone + pc.perBank.MaxPullIn
+	}
+	if ps.MaxPendingPerTick > depth {
+		add(pc.name, "queue-depth", "MaxPendingPerTick %d > depth %d", ps.MaxPendingPerTick, depth)
+	}
+
+	// The per-bank deficit must stay inside the JEDEC-style postponement
+	// window: DARP forces at the cap, SARP never accumulates.
+	if pc.perBank != nil && ps.MaxRefreshDeficit > pc.perBank.MaxPostpone {
+		add(pc.name, "deficit-window", "MaxRefreshDeficit %d > MaxPostpone %d",
+			ps.MaxRefreshDeficit, pc.perBank.MaxPostpone)
 	}
 
 	// Every emitted refresh command either reached the module or was
@@ -315,12 +386,29 @@ func checkRun(sc Scenario, pc policyCase, run PolicyRun, add func(policy, invari
 		add(pc.name, "refresh-accounting", "Results dropped-SR %d != accessor %d",
 			run.Res.RefreshesDroppedSelfRefresh, run.DroppedSelfRefresh)
 	}
-	if ms.RefreshOps != ms.RefreshCBROps+ms.RefreshRASOnlyOps {
-		add(pc.name, "refresh-accounting", "ops %d != CBR %d + RAS-only %d",
-			ms.RefreshOps, ms.RefreshCBROps, ms.RefreshRASOnlyOps)
+	if allBank := uint64(sc.Cfg.Geometry.Banks) * ms.RefreshAllBankOps; ms.RefreshOps !=
+		ms.RefreshCBROps+ms.RefreshRASOnlyOps+ms.RefreshPerBankOps+allBank {
+		add(pc.name, "refresh-accounting", "ops %d != CBR %d + RAS-only %d + per-bank %d + %d banks x all-bank %d",
+			ms.RefreshOps, ms.RefreshCBROps, ms.RefreshRASOnlyOps, ms.RefreshPerBankOps,
+			sc.Cfg.Geometry.Banks, ms.RefreshAllBankOps)
 	}
 	if pc.name == "none" && ms.RefreshOps != 0 {
 		add(pc.name, "refresh-accounting", "no-refresh policy issued %d refresh ops", ms.RefreshOps)
+	}
+	// Overlapped issue is a subset of per-bank issue: everything for SARP,
+	// nothing for DARP, impossible for the row-granular policies.
+	if ms.RefreshOverlapOps > ms.RefreshPerBankOps {
+		add(pc.name, "refresh-accounting", "overlap ops %d > per-bank ops %d", ms.RefreshOverlapOps, ms.RefreshPerBankOps)
+	}
+	switch pc.name {
+	case "sarp":
+		if ms.RefreshOverlapOps != ms.RefreshPerBankOps {
+			add(pc.name, "refresh-accounting", "sarp issued %d of %d per-bank ops overlapped", ms.RefreshOverlapOps, ms.RefreshPerBankOps)
+		}
+	case "darp":
+		if ms.RefreshOverlapOps != 0 {
+			add(pc.name, "refresh-accounting", "darp issued %d overlapped ops", ms.RefreshOverlapOps)
+		}
 	}
 
 	checkEnergy(pc.name, run.Res.Energy, add)
@@ -410,7 +498,13 @@ func checkResidency(sc Scenario, policy string, ms dram.ModuleStats, add func(po
 // below plain Smart Refresh. Counter quantization, segment stagger and
 // mode switches shift counts by bounded amounts, absorbed by boundSlack.
 func checkRefreshBounds(sc Scenario, byName map[string]PolicyRun, add func(policy, invariant, format string, args ...any)) {
-	smart, cbr, oracle, rar := byName["smart"], byName["cbr"], byName["oracle"], byName["smart-retention"]
+	smart, okS := byName["smart"]
+	cbr, okC := byName["cbr"]
+	oracle, okO := byName["oracle"]
+	rar, okR := byName["smart-retention"]
+	if !okS || !okC || !okO || !okR {
+		return // filtered run: the related policies did not all execute
+	}
 	if smart.Panic != "" || cbr.Panic != "" || oracle.Panic != "" || rar.Panic != "" {
 		return // already reported as panics
 	}
@@ -424,6 +518,35 @@ func checkRefreshBounds(sc Scenario, byName map[string]PolicyRun, add func(polic
 	}
 	if r := rar.Res.Policy.RefreshesRequested; r > s+slack {
 		add("smart-retention", "refresh-bound-upper", "retention-aware requested %d > smart %d + slack %d", r, s, slack)
+	}
+}
+
+// checkPerBankBounds ties the per-bank pair's request counts to
+// distributed CBR's: both walk TotalRows refreshes per interval, so the
+// counts may differ only by the deferral window (postponed refreshes
+// still owed, pulled-in refreshes banked ahead) plus end-of-run phase per
+// bank. Skipped when cbr or the per-bank policy was filtered out.
+func checkPerBankBounds(sc Scenario, byName map[string]PolicyRun, add func(policy, invariant, format string, args ...any)) {
+	cbr, okC := byName["cbr"]
+	if !okC || cbr.Panic != "" {
+		return
+	}
+	pbCfg := core.DefaultPerBankConfig()
+	banks := uint64(sc.Cfg.Geometry.TotalBanks())
+	slack := banks*uint64(pbCfg.MaxPostpone+pbCfg.MaxPullIn+2) + 64
+	c := cbr.Res.Policy.RefreshesRequested
+	for _, name := range []string{"darp", "sarp"} {
+		run, ok := byName[name]
+		if !ok || run.Panic != "" {
+			continue
+		}
+		v := run.Res.Policy.RefreshesRequested
+		if v > c+slack {
+			add(name, "refresh-bound-upper", "%s requested %d > cbr %d + slack %d", name, v, c, slack)
+		}
+		if v+slack < c {
+			add(name, "refresh-bound-lower", "%s requested %d + slack %d < cbr %d", name, v, slack, c)
+		}
 	}
 }
 

@@ -92,6 +92,51 @@ func TestReportDeterminism(t *testing.T) {
 	}
 }
 
+// PolicyNames is the public contract of the -policies filter; it must
+// mirror the differential set exactly, in order.
+func TestPolicyNamesMatchCases(t *testing.T) {
+	cases := policyCases(NewScenario(1))
+	names := PolicyNames()
+	if len(names) != len(cases) {
+		t.Fatalf("PolicyNames lists %d policies, policyCases has %d", len(names), len(cases))
+	}
+	for i, pc := range cases {
+		if names[i] != pc.name {
+			t.Errorf("PolicyNames[%d] = %q, policyCases[%d] = %q", i, names[i], i, pc.name)
+		}
+	}
+}
+
+// A filtered check runs exactly the named policies, still applies the
+// per-run invariants, and never reports phantom cross-policy bound
+// violations against runs that did not happen.
+func TestCheckScenarioSelected(t *testing.T) {
+	sc := NewScenario(5)
+	rep, err := CheckScenarioSelected(t.Context(), sc, nil, nil, []string{"darp", "sarp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[0].Policy != "darp" || rep.Runs[1].Policy != "sarp" {
+		t.Fatalf("filtered runs = %+v, want exactly darp, sarp", rep.Runs)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("filtered check: %s", v)
+	}
+
+	if _, err := CheckScenarioSelected(t.Context(), sc, nil, nil, []string{"smart", "bogus"}); err == nil {
+		t.Error("unknown policy name accepted")
+	}
+
+	// nil filter must stay equivalent to the full check.
+	full, err := CheckScenarioSelected(t.Context(), sc, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, CheckScenario(sc)) {
+		t.Error("nil filter differs from CheckScenario")
+	}
+}
+
 // The harness must catch a genuinely broken setup, not just pass
 // everything: a scenario whose duration exceeds the retention deadline
 // flags the no-refresh policy's violation via the checker-sanity

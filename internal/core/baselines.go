@@ -373,9 +373,10 @@ func (o *Oracle) Stats() PolicyStats { return o.stats }
 
 // Compile-time interface checks.
 var (
-	_ Policy = (*Smart)(nil)
-	_ Policy = (*CBR)(nil)
-	_ Policy = (*Burst)(nil)
-	_ Policy = NoRefresh{}
-	_ Policy = (*Oracle)(nil)
+	_ Policy    = (*Smart)(nil)
+	_ Policy    = (*CBR)(nil)
+	_ Policy    = (*Burst)(nil)
+	_ Policy    = NoRefresh{}
+	_ Policy    = (*Oracle)(nil)
+	_ BankAware = (*PerBank)(nil)
 )

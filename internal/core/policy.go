@@ -15,10 +15,15 @@ import (
 // Command is one refresh operation requested by a policy.
 type Command struct {
 	Bank dram.BankID
-	// Row is the explicit row for RAS-only refresh. It is -1 for CBR
-	// refresh, where the module's internal counter supplies the row.
+	// Row is the explicit row for RAS-only refresh. It is -1 for CBR and
+	// per-bank refresh, where the module's internal counter supplies the
+	// row.
 	Row  int
 	Kind dram.RefreshKind
+	// Overlap asks the controller to issue a per-bank refresh in the
+	// overlapped (SARP-style) form, which parallelizes with demand to the
+	// bank's other subarrays. Only meaningful for RefreshPerBank.
+	Overlap bool
 }
 
 // RowID returns the explicit row of a RAS-only command. It panics for CBR
@@ -94,6 +99,20 @@ type PolicyStats struct {
 	DisableSwitches uint64
 	EnableSwitches  uint64
 	TimeDisabled    sim.Duration
+
+	// Per-bank refresh arbitration telemetry (DARP/SARP family; zero for
+	// the other policies). RefreshesPostponed counts slot decisions
+	// deferred under demand pressure, RefreshesPulledIn counts refreshes
+	// issued ahead of schedule into idle banks, and RefreshesForced counts
+	// refreshes issued at the postponement cap regardless of pressure.
+	RefreshesPostponed uint64
+	RefreshesPulledIn  uint64
+	RefreshesForced    uint64
+
+	// MaxRefreshDeficit is the high-water per-bank refresh deficit (owed,
+	// unissued refreshes) after each slot decision; the JEDEC-style
+	// postponement window bounds it by PerBankConfig.MaxPostpone.
+	MaxRefreshDeficit int
 }
 
 // Sub returns the field-wise difference s - earlier for the monotone
@@ -110,5 +129,26 @@ func (s PolicyStats) Sub(earlier PolicyStats) PolicyStats {
 		DisableSwitches:    s.DisableSwitches - earlier.DisableSwitches,
 		EnableSwitches:     s.EnableSwitches - earlier.EnableSwitches,
 		TimeDisabled:       s.TimeDisabled - earlier.TimeDisabled,
+		RefreshesPostponed: s.RefreshesPostponed - earlier.RefreshesPostponed,
+		RefreshesPulledIn:  s.RefreshesPulledIn - earlier.RefreshesPulledIn,
+		RefreshesForced:    s.RefreshesForced - earlier.RefreshesForced,
+		MaxRefreshDeficit:  s.MaxRefreshDeficit,
 	}
+}
+
+// BankAware is implemented by policies that schedule refreshes around
+// per-bank demand pressure (the DARP/SARP family). The memory controller
+// type-asserts for it and, when present, reports every demand access —
+// both at enqueue into its reorder buffer and at issue — so the policy
+// can postpone refreshes to contended banks and pull them into idle ones.
+type BankAware interface {
+	Policy
+
+	// OnDemandObserved tells the policy that a demand access to bank was
+	// observed at time t. Writes are reported with write=true; the DARP
+	// write-refresh parallelization treats them as non-blocking (a bank
+	// absorbing writes can refresh without hurting read latency).
+	// Observations may repeat and arrive for multiple queue stages; only
+	// the latest time per bank matters.
+	OnDemandObserved(t sim.Time, bank dram.BankID, write bool)
 }

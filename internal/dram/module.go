@@ -20,6 +20,17 @@ const (
 	// address, which Smart Refresh requires (it refreshes specific rows out
 	// of order) and which costs extra bus energy.
 	RefreshRASOnly
+	// RefreshPerBank is a bank-granular refresh command (REFpb): the
+	// bank's internal counter supplies the row (no address-bus energy,
+	// like CBR), but only the addressed bank is occupied — the other
+	// banks of the rank keep serving demand. This is the LPDDR/HBM-style
+	// command the refresh-access-parallelism policies (DARP, SARP) build
+	// on.
+	RefreshPerBank
+	// RefreshAllBank is the conventional all-bank refresh command
+	// (REFab): one counter row per bank, every bank of the rank frozen
+	// for tRFCab. It exists as the contrast case for REFpb.
+	RefreshAllBank
 )
 
 // String names the refresh kind.
@@ -29,6 +40,10 @@ func (k RefreshKind) String() string {
 		return "CBR"
 	case RefreshRASOnly:
 		return "RAS-only"
+	case RefreshPerBank:
+		return "per-bank"
+	case RefreshAllBank:
+		return "all-bank"
 	default:
 		return fmt.Sprintf("RefreshKind(%d)", int(k))
 	}
@@ -89,9 +104,16 @@ type ModuleStats struct {
 	Activates    uint64
 	Precharges   uint64
 
-	RefreshOps         uint64 // total refresh operations (both kinds)
+	// RefreshOps counts row-refresh operations of every kind; the
+	// invariant RefreshOps == RefreshCBROps + RefreshRASOnlyOps +
+	// RefreshPerBankOps + Banks×RefreshAllBankOps holds (one REFab
+	// restores one counter row in each bank of the rank).
+	RefreshOps         uint64
 	RefreshCBROps      uint64
 	RefreshRASOnlyOps  uint64
+	RefreshPerBankOps  uint64 // REFpb row refreshes
+	RefreshOverlapOps  uint64 // subset of RefreshPerBankOps issued overlapped (SARP)
+	RefreshAllBankOps  uint64 // REFab commands (each restores Banks rows)
 	RefreshConflictOps uint64 // refreshes that had to close an open page
 
 	// Background state residency summed over all ranks: a rank is active
@@ -132,6 +154,9 @@ func (s ModuleStats) Sub(earlier ModuleStats) ModuleStats {
 		RefreshOps:         s.RefreshOps - earlier.RefreshOps,
 		RefreshCBROps:      s.RefreshCBROps - earlier.RefreshCBROps,
 		RefreshRASOnlyOps:  s.RefreshRASOnlyOps - earlier.RefreshRASOnlyOps,
+		RefreshPerBankOps:  s.RefreshPerBankOps - earlier.RefreshPerBankOps,
+		RefreshOverlapOps:  s.RefreshOverlapOps - earlier.RefreshOverlapOps,
+		RefreshAllBankOps:  s.RefreshAllBankOps - earlier.RefreshAllBankOps,
 		RefreshConflictOps: s.RefreshConflictOps - earlier.RefreshConflictOps,
 		ActiveTime:         s.ActiveTime - earlier.ActiveTime,
 		IdleTime:           s.IdleTime - earlier.IdleTime,
@@ -147,6 +172,12 @@ type bankState struct {
 	readyAt       sim.Time
 	prechargeOKAt sim.Time // tRAS / write-recovery constraint
 	activateOKAt  sim.Time // tRC constraint
+
+	// Overlapped (SARP-style) refresh in flight: until srefUntil, demand
+	// to the refreshing subarray (srefSub) must wait, while the rest of
+	// the bank keeps serving. Zero when no overlapped refresh is active.
+	srefUntil sim.Time
+	srefSub   int
 }
 
 type rankState struct {
@@ -211,8 +242,15 @@ type Module struct {
 
 	// cbrCounters holds the module-internal CBR row counter per bank. The
 	// counter initialises to zero at power-up and wraps at Rows; it cannot
-	// be reset (section 3).
+	// be reset (section 3). Per-bank refresh (REFpb) and all-bank refresh
+	// (REFab) walk the same counters — JEDEC specifies a single internal
+	// refresh pointer per bank regardless of command style.
 	cbrCounters []int
+
+	// subRows is the number of rows per subarray, used by the overlapped
+	// (SARP-style) per-bank refresh to decide which demand rows conflict
+	// with an in-flight refresh. Fixed at Rows/subarraysPerBank.
+	subRows int
 
 	stats ModuleStats
 	now   sim.Time // latest time observed, for Finalize
@@ -247,6 +285,7 @@ func NewModule(g Geometry, t Timing) *Module {
 		ranks:       make([]rankState, g.Channels*g.Ranks),
 		channels:    make([]channelState, g.Channels),
 		cbrCounters: make([]int, g.TotalBanks()),
+		subRows:     subarrayRows(g.Rows),
 	}
 	for i := range m.banks {
 		m.banks[i].openRow = -1
@@ -385,7 +424,13 @@ func (m *Module) Access(t sim.Time, addr Address, write bool) AccessResult {
 	ch := &m.channels[addr.Channel]
 
 	res := AccessResult{}
-	issue := m.clk.Next(sim.Max(t, b.readyAt))
+	ready := b.readyAt
+	if b.srefUntil > t && addr.Row/m.subRows == b.srefSub && b.srefUntil > ready {
+		// An overlapped refresh is restoring this row's subarray: demand
+		// to it serializes behind the refresh (other subarrays proceed).
+		ready = b.srefUntil
+	}
+	issue := m.clk.Next(sim.Max(t, ready))
 	if issue > t {
 		m.stats.DemandStall += issue - t
 	}
@@ -494,7 +539,175 @@ func (m *Module) CBRCounter(bank BankID) int {
 	return m.cbrCounters[bank.Flat(m.geom)]
 }
 
+// nextCounterRow reads and advances a bank's internal refresh counter.
+func (m *Module) nextCounterRow(bank BankID) RowID {
+	bi := bank.Flat(m.geom)
+	row := RowID{Channel: bank.Channel, Rank: bank.Rank, Bank: bank.Bank, Row: m.cbrCounters[bi]}
+	m.cbrCounters[bi] = (m.cbrCounters[bi] + 1) % m.geom.Rows
+	return row
+}
+
+// subarraysPerBank is the fixed subarray count the overlapped refresh
+// model assumes; commodity banks are built from tens of subarrays, so 8
+// is a conservative (pessimistic-conflict) choice.
+const subarraysPerBank = 8
+
+// subarrayRows returns the rows per subarray for a bank of rows rows.
+func subarrayRows(rows int) int {
+	n := rows / subarraysPerBank
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RefreshBank performs a per-bank refresh (REFpb) on the given bank: the
+// bank's internal counter supplies the row, only this bank is occupied
+// (for Timing.PerBankRefreshDuration), and the rank's other banks keep
+// serving demand. An open page is closed first, as with the other
+// refresh styles.
+func (m *Module) RefreshBank(t sim.Time, bank BankID) RefreshResult {
+	return m.refreshDur(t, m.nextCounterRow(bank), RefreshPerBank, m.tim.PerBankRefreshDuration())
+}
+
+// RefreshBankOverlapped performs a per-bank refresh that parallelizes
+// with demand to the same bank, approximating SARP (Chang et al.): the
+// refresh restores its counter row's subarray for the full
+// PerBankRefreshDuration and charges full refresh energy, but the bank
+// only blocks demand to the refreshing subarray — accesses to the other
+// subarrays proceed, and an open page in another subarray stays open.
+// The rank-level activate-rate limits (tRRD, tFAW) still apply, since
+// the hidden activate draws real current.
+func (m *Module) RefreshBankOverlapped(t sim.Time, bank BankID) RefreshResult {
+	row := m.nextCounterRow(bank)
+	if !row.Valid(m.geom) {
+		panic(fmt.Sprintf("dram: refresh of invalid row %+v", row))
+	}
+	m.observe(t)
+	bi := row.BankOf().Flat(m.geom)
+	ri := m.rankIndex(row.Channel, row.Rank)
+	if m.ranks[ri].inSelfRefresh {
+		panic(fmt.Sprintf("dram: refresh to rank ch%d/rk%d in self-refresh", row.Channel, row.Rank))
+	}
+	b := &m.banks[bi]
+	dur := m.tim.PerBankRefreshDuration()
+
+	res := RefreshResult{Row: row, Kind: RefreshPerBank}
+	issue := m.clk.Next(sim.Max(t, b.readyAt))
+	res.Issue = issue
+	start := issue
+
+	sameSub := b.openRow != -1 && b.openRow/m.subRows == row.Row/m.subRows
+	if sameSub {
+		// The open page lives in the refreshing subarray: it must close
+		// first — the same conflict case as a blocking refresh.
+		res.ClosedOpenRow = true
+		res.ClosedRow = RowID{Channel: row.Channel, Rank: row.Rank, Bank: row.Bank, Row: b.openRow}
+		pre := m.clk.Next(sim.Max(issue, b.prechargeOKAt))
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdPrecharge, bi, b.openRow, pre, pre+m.tim.TRP)
+		}
+		m.closeBank(b, ri, pre)
+		m.stats.Precharges++
+		m.stats.RefreshConflictOps++
+		start = m.clk.Next(pre + m.tim.TRP)
+	}
+	start = m.clk.Next(sim.Max(start, m.ranks[ri].activateOKAt(m.tim)))
+	m.ranks[ri].recordActivate(start)
+	done := m.clk.Next(start + dur)
+
+	if b.openRow == -1 {
+		// Bank precharged: the refresh is the only activity; count the
+		// rank active for its duration, bank commandable again almost
+		// immediately (two clocks of command-bus turnaround).
+		m.openBank(b, ri, row.Row, start)
+		m.closeBank(b, ri, done)
+		b.readyAt = sim.Max(b.readyAt, m.clk.Next(start+2*m.tim.TCK))
+		b.prechargeOKAt = sim.Max(b.prechargeOKAt, b.readyAt)
+	}
+	// With a surviving open page in another subarray the bank state is
+	// untouched: demand row hits keep streaming during the refresh.
+	b.srefUntil = done
+	b.srefSub = row.Row / m.subRows
+	res.Done = done
+
+	m.stats.RefreshOps++
+	m.stats.RefreshPerBankOps++
+	m.stats.RefreshOverlapOps++
+	if m.trace != nil {
+		m.trace.Command(telemetry.CmdRefreshPB, bi, row.Row, start, done)
+	}
+	m.observe(done)
+	return res
+}
+
+// RefreshAllBanks performs one all-bank refresh (REFab) on a rank: every
+// bank's counter row is restored, and the whole rank is frozen for
+// Timing.AllBankRefreshDuration. Open pages are closed first (each a
+// conflict refresh). Results are returned in bank order.
+func (m *Module) RefreshAllBanks(t sim.Time, channel, rank int) []RefreshResult {
+	ri := m.rankIndex(channel, rank)
+	if m.ranks[ri].inSelfRefresh {
+		panic(fmt.Sprintf("dram: refresh to rank ch%d/rk%d in self-refresh", channel, rank))
+	}
+	m.observe(t)
+	results := make([]RefreshResult, m.geom.Banks)
+
+	// Close any open pages and find when the whole rank is quiet.
+	start := t
+	for bk := 0; bk < m.geom.Banks; bk++ {
+		id := BankID{Channel: channel, Rank: rank, Bank: bk}
+		bi := id.Flat(m.geom)
+		b := &m.banks[bi]
+		res := &results[bk]
+		res.Kind = RefreshAllBank
+		res.Issue = m.clk.Next(sim.Max(t, b.readyAt))
+		if b.openRow != -1 {
+			res.ClosedOpenRow = true
+			res.ClosedRow = RowID{Channel: channel, Rank: rank, Bank: bk, Row: b.openRow}
+			pre := m.clk.Next(sim.Max(res.Issue, b.prechargeOKAt))
+			if m.trace != nil {
+				m.trace.Command(telemetry.CmdPrecharge, bi, b.openRow, pre, pre+m.tim.TRP)
+			}
+			m.closeBank(b, ri, pre)
+			m.stats.Precharges++
+			m.stats.RefreshConflictOps++
+			start = sim.Max(start, pre+m.tim.TRP)
+		}
+		start = sim.Max(start, sim.Max(res.Issue, b.activateOKAt))
+	}
+	start = m.clk.Next(sim.Max(start, m.ranks[ri].activateOKAt(m.tim)))
+	m.ranks[ri].recordActivate(start)
+	done := m.clk.Next(start + m.tim.AllBankRefreshDuration(m.geom.Banks))
+
+	for bk := 0; bk < m.geom.Banks; bk++ {
+		id := BankID{Channel: channel, Rank: rank, Bank: bk}
+		bi := id.Flat(m.geom)
+		b := &m.banks[bi]
+		row := m.nextCounterRow(id)
+		results[bk].Row = row
+		results[bk].Done = done
+		m.openBank(b, ri, row.Row, start)
+		m.closeBank(b, ri, done)
+		b.readyAt = done
+		b.activateOKAt = sim.Max(b.activateOKAt, start+m.tim.TRC)
+		b.prechargeOKAt = done
+		m.stats.RefreshOps++
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdRefreshAB, bi, row.Row, start, done)
+		}
+	}
+	m.stats.RefreshAllBankOps++
+	m.observe(done)
+	return results
+}
+
 func (m *Module) refresh(t sim.Time, row RowID, kind RefreshKind) RefreshResult {
+	return m.refreshDur(t, row, kind, m.tim.TRefreshRow)
+}
+
+// refreshDur is the blocking refresh: the bank is fully occupied for dur.
+func (m *Module) refreshDur(t sim.Time, row RowID, kind RefreshKind, dur sim.Duration) RefreshResult {
 	if !row.Valid(m.geom) {
 		panic(fmt.Sprintf("dram: refresh of invalid row %+v", row))
 	}
@@ -528,12 +741,12 @@ func (m *Module) refresh(t sim.Time, row RowID, kind RefreshKind) RefreshResult 
 	start = sim.Max(start, b.activateOKAt)
 	start = m.clk.Next(sim.Max(start, m.ranks[ri].activateOKAt(m.tim)))
 
-	// The refresh itself: internal activate + restore + precharge, the
-	// paper's 70 ns row refresh. The bank ends precharged. Count the rank
-	// as active for the refresh duration.
+	// The refresh itself: internal activate + restore + precharge (the
+	// paper's 70 ns row refresh, or tRFCpb for a per-bank command). The
+	// bank ends precharged. Count the rank as active for the duration.
 	m.openBank(b, ri, row.Row, start)
 	m.ranks[ri].recordActivate(start)
-	done := m.clk.Next(start + m.tim.TRefreshRow)
+	done := m.clk.Next(start + dur)
 	m.closeBank(b, ri, done)
 	b.readyAt = done
 	b.activateOKAt = sim.Max(b.activateOKAt, start+m.tim.TRC)
@@ -551,6 +764,11 @@ func (m *Module) refresh(t sim.Time, row RowID, kind RefreshKind) RefreshResult 
 		m.stats.RefreshRASOnlyOps++
 		if m.trace != nil {
 			m.trace.Command(telemetry.CmdRefreshRASOnly, bi, row.Row, start, done)
+		}
+	case RefreshPerBank:
+		m.stats.RefreshPerBankOps++
+		if m.trace != nil {
+			m.trace.Command(telemetry.CmdRefreshPB, bi, row.Row, start, done)
 		}
 	}
 	m.observe(done)

@@ -1,0 +1,209 @@
+package dram
+
+import (
+	"testing"
+
+	"smartrefresh/internal/sim"
+)
+
+func TestPerBankRefreshTimingDerivation(t *testing.T) {
+	tt := DDR2_667(64 * sim.Millisecond)
+	if got := tt.PerBankRefreshDuration(); got != 70*sim.Nanosecond {
+		t.Errorf("DDR2 PerBankRefreshDuration = %v, want 70ns", got)
+	}
+	if got := tt.AllBankRefreshDuration(4); got != 195*sim.Nanosecond {
+		t.Errorf("DDR2 AllBankRefreshDuration = %v, want 195ns", got)
+	}
+	// Zeroed fields derive from the per-row cost.
+	tt.TRFCpb, tt.TRFCab = 0, 0
+	if err := tt.Validate(); err != nil {
+		t.Fatalf("zero tRFC fields rejected: %v", err)
+	}
+	if got := tt.PerBankRefreshDuration(); got != tt.TRefreshRow {
+		t.Errorf("derived PerBankRefreshDuration = %v, want %v", got, tt.TRefreshRow)
+	}
+	if got := tt.AllBankRefreshDuration(4); got != 4*tt.TRefreshRow {
+		t.Errorf("derived AllBankRefreshDuration = %v, want %v", got, 4*tt.TRefreshRow)
+	}
+}
+
+func TestPerBankRefreshTimingValidate(t *testing.T) {
+	tt := DDR2_667(64 * sim.Millisecond)
+	tt.TRFCpb = -1
+	if err := tt.Validate(); err == nil {
+		t.Error("negative TRFCpb accepted")
+	}
+	tt = DDR2_667(64 * sim.Millisecond)
+	tt.TRFCpb = tt.TRefreshRow / 2
+	if err := tt.Validate(); err == nil {
+		t.Error("TRFCpb below TRefreshRow accepted")
+	}
+	tt = DDR2_667(64 * sim.Millisecond)
+	tt.TRFCab = tt.TRFCpb / 2
+	if err := tt.Validate(); err == nil {
+		t.Error("TRFCab below TRFCpb accepted")
+	}
+}
+
+func TestRefreshBankWalksCounterAndOccupiesOneBank(t *testing.T) {
+	m := testModule()
+	b0 := BankID{Channel: 0, Rank: 0, Bank: 0}
+	b1 := BankID{Channel: 0, Rank: 0, Bank: 1}
+
+	r1 := m.RefreshBank(0, b0)
+	if r1.Kind != RefreshPerBank {
+		t.Fatalf("kind = %v", r1.Kind)
+	}
+	if r1.Row.Row != 0 {
+		t.Errorf("first REFpb row = %d, want counter row 0", r1.Row.Row)
+	}
+	if got := m.CBRCounter(b0); got != 1 {
+		t.Errorf("counter after REFpb = %d, want 1", got)
+	}
+	// Occupancy is the per-bank duration, quantised up to the command clock.
+	if got, want := r1.Done-r1.Issue, m.Timing().PerBankRefreshDuration(); got < want || got >= want+m.Timing().TCK {
+		t.Errorf("REFpb occupancy = %v, want %v (clock-quantised)", got, want)
+	}
+	// Only the refreshed bank is occupied.
+	if ready := m.BankReadyAt(b0); ready != r1.Done {
+		t.Errorf("refreshed bank ready at %v, want %v", ready, r1.Done)
+	}
+	if ready := m.BankReadyAt(b1); ready != 0 {
+		t.Errorf("sibling bank ready at %v, want 0", ready)
+	}
+	// The per-bank command walks the same internal counter as CBR.
+	r2 := m.RefreshNextCBR(r1.Done, b0)
+	if r2.Row.Row != 1 {
+		t.Errorf("CBR after REFpb refreshed row %d, want 1", r2.Row.Row)
+	}
+
+	st := m.Stats()
+	if st.RefreshOps != 2 || st.RefreshPerBankOps != 1 || st.RefreshCBROps != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.RefreshOverlapOps != 0 {
+		t.Errorf("blocking REFpb counted as overlapped: %+v", st)
+	}
+}
+
+func TestRefreshBankOverlappedKeepsOtherSubarraysServing(t *testing.T) {
+	m := testModule()
+	bank := BankID{Channel: 0, Rank: 0, Bank: 0}
+	// Open a page in a distant subarray (counter is at row 0).
+	far := Address{RowID: RowID{0, 0, 0, m.subRows * 3}, Column: 0}
+	a0 := m.Access(0, far, false)
+
+	ref := m.RefreshBankOverlapped(a0.Done, bank)
+	if ref.Done <= ref.Issue {
+		t.Fatal("overlapped refresh has no duration")
+	}
+	if ref.ClosedOpenRow {
+		t.Error("overlapped refresh closed a page in another subarray")
+	}
+	if got := m.OpenRow(bank); got != far.Row {
+		t.Errorf("open row after overlapped refresh = %d, want %d", got, far.Row)
+	}
+	// A row hit to the open page proceeds while the refresh is in flight.
+	hit := m.Access(ref.Issue, far, false)
+	if !hit.RowHit {
+		t.Error("demand row hit blocked by overlapped refresh")
+	}
+	if hit.Issue >= ref.Done {
+		t.Errorf("row hit issued at %v, after refresh end %v", hit.Issue, ref.Done)
+	}
+	st := m.Stats()
+	if st.RefreshOverlapOps != 1 || st.RefreshPerBankOps != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRefreshBankOverlappedBlocksRefreshingSubarray(t *testing.T) {
+	m := testModule()
+	bank := BankID{Channel: 0, Rank: 0, Bank: 0}
+	ref := m.RefreshBankOverlapped(0, bank) // refreshes counter row 0
+	// Demand to the refreshing subarray serializes behind the refresh...
+	same := Address{RowID: RowID{0, 0, 0, 1}, Column: 0}
+	r := m.Access(ref.Issue, same, false)
+	if r.Issue < ref.Done {
+		t.Errorf("same-subarray access issued at %v, before refresh end %v", r.Issue, ref.Done)
+	}
+
+	m2 := testModule()
+	ref = m2.RefreshBankOverlapped(0, bank)
+	// ...while demand to another subarray starts underneath it.
+	other := Address{RowID: RowID{0, 0, 0, m2.subRows * 5}, Column: 0}
+	r = m2.Access(ref.Issue, other, false)
+	if r.Issue >= ref.Done {
+		t.Errorf("other-subarray access issued at %v, after refresh end %v", r.Issue, ref.Done)
+	}
+}
+
+func TestRefreshBankOverlappedSameSubarrayConflictClosesPage(t *testing.T) {
+	m := testModule()
+	bank := BankID{Channel: 0, Rank: 0, Bank: 0}
+	near := Address{RowID: RowID{0, 0, 0, 1}, Column: 0} // same subarray as counter row 0
+	a0 := m.Access(0, near, false)
+
+	ref := m.RefreshBankOverlapped(a0.Done, bank)
+	if !ref.ClosedOpenRow || ref.ClosedRow != near.RowID {
+		t.Errorf("same-subarray overlap did not close the page: %+v", ref)
+	}
+	if got := m.OpenRow(bank); got != -1 {
+		t.Errorf("bank still open after conflict overlap: row %d", got)
+	}
+	if m.Stats().RefreshConflictOps != 1 {
+		t.Errorf("conflict not counted: %+v", m.Stats())
+	}
+}
+
+func TestRefreshAllBanksFreezesRankAndWalksEveryCounter(t *testing.T) {
+	m := testModule()
+	g := m.Geometry()
+	// Open a page in bank 2 to exercise the conflict path.
+	open := Address{RowID: RowID{0, 0, 2, 7}, Column: 0}
+	a0 := m.Access(0, open, false)
+
+	results := m.RefreshAllBanks(a0.Done, 0, 0)
+	if len(results) != g.Banks {
+		t.Fatalf("got %d results, want %d", len(results), g.Banks)
+	}
+	done := results[0].Done
+	for bk, res := range results {
+		if res.Kind != RefreshAllBank {
+			t.Errorf("bank %d kind = %v", bk, res.Kind)
+		}
+		if res.Done != done {
+			t.Errorf("bank %d done %v, want rank-wide %v", bk, res.Done, done)
+		}
+		if res.Row.Row != 0 {
+			t.Errorf("bank %d refreshed row %d, want counter row 0", bk, res.Row.Row)
+		}
+		id := BankID{Channel: 0, Rank: 0, Bank: bk}
+		if got := m.CBRCounter(id); got != 1 {
+			t.Errorf("bank %d counter = %d, want 1", bk, got)
+		}
+		if ready := m.BankReadyAt(id); ready != done {
+			t.Errorf("bank %d ready at %v, want %v", bk, ready, done)
+		}
+	}
+	if !results[2].ClosedOpenRow || results[2].ClosedRow != open.RowID {
+		t.Errorf("open page not closed by REFab: %+v", results[2])
+	}
+
+	st := m.Stats()
+	if st.RefreshAllBankOps != 1 {
+		t.Errorf("RefreshAllBankOps = %d", st.RefreshAllBankOps)
+	}
+	if st.RefreshOps != uint64(g.Banks) {
+		t.Errorf("RefreshOps = %d, want %d", st.RefreshOps, g.Banks)
+	}
+	// The kind-wise decomposition invariant.
+	if st.RefreshOps != st.RefreshCBROps+st.RefreshRASOnlyOps+st.RefreshPerBankOps+uint64(g.Banks)*st.RefreshAllBankOps {
+		t.Errorf("refresh op decomposition broken: %+v", st)
+	}
+	// One REFab is far cheaper than per-bank serialization.
+	width := done - results[0].Issue
+	if serial := sim.Duration(g.Banks) * m.Timing().PerBankRefreshDuration(); sim.Duration(width) >= serial {
+		t.Errorf("REFab width %v not below serialized %v", width, serial)
+	}
+}

@@ -27,6 +27,20 @@ type Timing struct {
 	// time taken to refresh a row is 70ns").
 	TRefreshRow sim.Duration
 
+	// TRFCpb is the bank occupancy of one per-bank refresh command
+	// (REFpb). In this row-granular model a REFpb restores exactly one
+	// counter row, so the field defaults to TRefreshRow when zero; it may
+	// be set independently to study devices (LPDDR4, HBM) where the
+	// per-bank command is cheaper than its all-bank counterpart but dearer
+	// than a bare row cycle. Optional: zero means "derive".
+	TRFCpb sim.Duration
+
+	// TRFCab is the rank-wide occupancy of one all-bank refresh command
+	// (REFab), the conventional REF that freezes every bank at once — the
+	// contrast case for the per-bank path. Optional: zero derives the
+	// serialized equivalent (TRefreshRow per bank).
+	TRFCab sim.Duration
+
 	// TXSNR is the self-refresh exit latency before the next command
 	// (DDR2: tRFC + 10 ns).
 	TXSNR sim.Duration
@@ -63,7 +77,40 @@ func (t Timing) Validate() error {
 	if t.RefreshInterval < 100*t.TRC {
 		return fmt.Errorf("dram: refresh interval %v implausibly short", t.RefreshInterval)
 	}
+	// The per/all-bank refresh occupancies are optional (zero = derived)
+	// but must be self-consistent when set.
+	if t.TRFCpb < 0 || t.TRFCab < 0 {
+		return fmt.Errorf("dram: negative refresh occupancy (TRFCpb %v, TRFCab %v)", t.TRFCpb, t.TRFCab)
+	}
+	if t.TRFCpb > 0 && t.TRFCpb < t.TRefreshRow {
+		return fmt.Errorf("dram: TRFCpb (%v) < TRefreshRow (%v)", t.TRFCpb, t.TRefreshRow)
+	}
+	if t.TRFCpb > 0 && t.TRFCab > 0 && t.TRFCab < t.TRFCpb {
+		return fmt.Errorf("dram: TRFCab (%v) < TRFCpb (%v)", t.TRFCab, t.TRFCpb)
+	}
 	return nil
+}
+
+// PerBankRefreshDuration returns the bank occupancy of one REFpb command:
+// TRFCpb when set, else the per-row refresh cost (the derived default —
+// one REFpb restores one counter row in this model).
+func (t Timing) PerBankRefreshDuration() sim.Duration {
+	if t.TRFCpb > 0 {
+		return t.TRFCpb
+	}
+	return t.TRefreshRow
+}
+
+// AllBankRefreshDuration returns the rank occupancy of one REFab command
+// across banks banks: TRFCab when set, else the serialized per-bank
+// equivalent. The all-bank command's efficiency (one row per bank in a
+// single tRFCab well below banks × tRFCpb) only appears when TRFCab is
+// configured, as DDR2_667 does.
+func (t Timing) AllBankRefreshDuration(banks int) sim.Duration {
+	if t.TRFCab > 0 {
+		return t.TRFCab
+	}
+	return sim.Duration(banks) * t.PerBankRefreshDuration()
 }
 
 // BurstDuration returns the data-bus occupancy of one burst of length bl
@@ -90,6 +137,8 @@ func DDR2_667(refreshInterval sim.Duration) Timing {
 		TRRD:            7500 * sim.Picosecond,
 		TFAW:            37500 * sim.Picosecond,
 		TRefreshRow:     70 * sim.Nanosecond,
+		TRFCpb:          70 * sim.Nanosecond,  // one counter row per REFpb
+		TRFCab:          195 * sim.Nanosecond, // Micron 2Gb-class tRFC
 		TXSNR:           80 * sim.Nanosecond,
 		RefreshInterval: refreshInterval,
 	}

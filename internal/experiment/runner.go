@@ -28,6 +28,8 @@ const (
 	PolicyBurst
 	PolicyNone
 	PolicyOracle
+	PolicyDARP
+	PolicySARP
 )
 
 // String names the policy kind.
@@ -43,6 +45,10 @@ func (k PolicyKind) String() string {
 		return "none"
 	case PolicyOracle:
 		return "oracle"
+	case PolicyDARP:
+		return "darp"
+	case PolicySARP:
+		return "sarp"
 	default:
 		return fmt.Sprintf("PolicyKind(%d)", int(k))
 	}
@@ -62,6 +68,10 @@ func NewPolicy(cfg config.DRAM, kind PolicyKind) core.Policy {
 		return core.NoRefresh{}
 	case PolicyOracle:
 		return core.NewOracle(cfg.Geometry, interval, cfg.Timing.TRefreshRow*16)
+	case PolicyDARP:
+		return core.NewDARP(cfg.Geometry, interval, core.DefaultPerBankConfig())
+	case PolicySARP:
+		return core.NewSARP(cfg.Geometry, interval, core.DefaultPerBankConfig())
 	default:
 		panic(fmt.Sprintf("experiment: unknown policy kind %d", int(kind)))
 	}
@@ -95,6 +105,39 @@ func (o RunOptions) withDefaults(interval sim.Duration) RunOptions {
 		o.Measure = 4 * interval
 	}
 	return o
+}
+
+// RetentionSlack is the deadline widening the retention checker grants a
+// policy's documented deferral behaviour (mirroring internal/check's
+// per-policy bounds): Smart and Burst serialise chained refreshes behind
+// one bank, DARP postpones up to MaxPostpone slot periods and pulls in up
+// to MaxPullIn, SARP only pays stagger and quantization. Beyond this a
+// late refresh is a real bug, not scheduling slack. Self-refresh entry
+// and exit hide the module walker's phase for up to two intervals.
+func RetentionSlack(cfg config.DRAM, kind PolicyKind, opts RunOptions) sim.Duration {
+	const base = 4 * sim.Microsecond
+	interval := cfg.RefreshInterval()
+	slack := base
+	if opts.SelfRefreshAfter > 0 {
+		slack += 2 * interval
+	}
+	serial := sim.Duration(cfg.Geometry.Rows) * cfg.Timing.TRefreshRow
+	pbSlot := interval / sim.Duration(cfg.Geometry.Rows)
+	pb := core.DefaultPerBankConfig()
+	switch kind {
+	case PolicySmart:
+		slack += 2 * serial
+		if cfg.Smart.SelfDisable {
+			slack += 2 * interval
+		}
+	case PolicyBurst:
+		slack += serial
+	case PolicyDARP:
+		slack += sim.Duration(pb.MaxPostpone+pb.MaxPullIn+4) * pbSlot
+	case PolicySARP:
+		slack += 4 * pbSlot
+	}
+	return slack
 }
 
 // RunResult is the measured window of one run.
@@ -176,6 +219,9 @@ func execute(ctx context.Context, j runJob) (RunResult, error) {
 	mcOpts := memctrl.Options{
 		CheckRetention:   opts.CheckRetention,
 		SelfRefreshAfter: opts.SelfRefreshAfter,
+	}
+	if opts.CheckRetention {
+		mcOpts.RetentionSlack = RetentionSlack(j.cfg, j.kind, opts)
 	}
 	if j.trace != nil || j.metrics != nil {
 		mcOpts.Trace = j.trace

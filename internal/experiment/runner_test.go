@@ -23,6 +23,7 @@ func TestPolicyKindString(t *testing.T) {
 	names := map[PolicyKind]string{
 		PolicyCBR: "cbr", PolicySmart: "smart", PolicyBurst: "burst",
 		PolicyNone: "none", PolicyOracle: "oracle",
+		PolicyDARP: "darp", PolicySARP: "sarp",
 	}
 	for k, want := range names {
 		if k.String() != want {
@@ -120,6 +121,34 @@ func TestRunRetentionHolds(t *testing.T) {
 		if res.RetentionErr != nil {
 			t.Errorf("%v: %v", kind, res.RetentionErr)
 		}
+	}
+	// The per-bank pair legitimately defers refreshes within the JEDEC
+	// credit window; RetentionSlack must cover that window or the checker
+	// flags a by-design postponement. gcc's row bursts drive DARP to the
+	// cap, which is exactly the case that needs the slack.
+	gcc, _ := workload.ByName("gcc")
+	for _, kind := range []PolicyKind{PolicyDARP, PolicySARP} {
+		res := Run(Conv2GB.DRAM(), gcc, kind, opts)
+		if res.RetentionErr != nil {
+			t.Errorf("%v: %v", kind, res.RetentionErr)
+		}
+	}
+}
+
+func TestRetentionSlackPerPolicy(t *testing.T) {
+	cfg := Conv2GB.DRAM()
+	base := RetentionSlack(cfg, PolicyCBR, RunOptions{})
+	if base <= 0 {
+		t.Fatalf("base slack = %v", base)
+	}
+	for _, kind := range []PolicyKind{PolicySmart, PolicyBurst, PolicyDARP, PolicySARP} {
+		if s := RetentionSlack(cfg, kind, RunOptions{}); s <= base {
+			t.Errorf("%v slack %v not above base %v", kind, s, base)
+		}
+	}
+	withSR := RetentionSlack(cfg, PolicyCBR, RunOptions{SelfRefreshAfter: sim.Millisecond})
+	if withSR <= base {
+		t.Errorf("self-refresh transition slack %v not above base %v", withSR, base)
 	}
 }
 

@@ -85,6 +85,17 @@ type Controller struct {
 	policy core.Policy
 	mapper *Mapper
 
+	// bankAware is non-nil when the policy schedules refreshes around
+	// per-bank demand pressure (the DARP/SARP family). The controller
+	// then acts as a refresh-vs-demand arbiter: every demand access is
+	// reported to the policy — at reorder-buffer enqueue and again at
+	// issue — *before* refresh events at the same instant are drained,
+	// so a per-bank refresh colliding with a demand access on its bank
+	// deterministically yields (is postponed) unless the bank's deficit
+	// window forces it. Legacy policies leave this nil and see the
+	// original, bit-identical event order.
+	bankAware core.BankAware
+
 	checker *core.RetentionChecker
 	cmds    []core.Command
 
@@ -144,6 +155,9 @@ func New(cfg config.DRAM, policy core.Policy, opts Options) (*Controller, error)
 		idleClose:   idleClose,
 		bankLastUse: make([]sim.Time, cfg.Geometry.TotalBanks()),
 		interrupt:   opts.Interrupt,
+	}
+	if ba, ok := policy.(core.BankAware); ok {
+		c.bankAware = ba
 	}
 	if opts.CheckRetention {
 		deadline := cfg.Timing.RefreshInterval + RetentionGrace + opts.RetentionSlack
@@ -226,6 +240,11 @@ func (c *Controller) registerMetrics(reg *telemetry.Registry, prefix string) {
 	reg.RegisterGauge(prefix+"/refresh_cbr_ops", func() float64 { return float64(c.module.Stats().RefreshCBROps) })
 	reg.RegisterGauge(prefix+"/refresh_rasonly_ops", func() float64 { return float64(c.module.Stats().RefreshRASOnlyOps) })
 	reg.RegisterGauge(prefix+"/refresh_conflict_ops", func() float64 { return float64(c.module.Stats().RefreshConflictOps) })
+	reg.RegisterGauge(prefix+"/refresh_perbank_ops", func() float64 { return float64(c.module.Stats().RefreshPerBankOps) })
+	reg.RegisterGauge(prefix+"/refresh_overlap_ops", func() float64 { return float64(c.module.Stats().RefreshOverlapOps) })
+	reg.RegisterGauge(prefix+"/policy_refreshes_postponed", func() float64 { return float64(c.policy.Stats().RefreshesPostponed) })
+	reg.RegisterGauge(prefix+"/policy_refreshes_pulledin", func() float64 { return float64(c.policy.Stats().RefreshesPulledIn) })
+	reg.RegisterGauge(prefix+"/policy_refreshes_forced", func() float64 { return float64(c.policy.Stats().RefreshesForced) })
 	reg.RegisterGauge(prefix+"/demand_stall_ns", func() float64 { return c.module.Stats().DemandStall.Nanoseconds() })
 	reg.RegisterGauge(prefix+"/selfrefresh_entries", func() float64 { return float64(c.module.Stats().SelfRefreshEntries) })
 	reg.RegisterGauge(prefix+"/refreshes_dropped_selfrefresh", func() float64 { return float64(c.refreshesDroppedSR) })
@@ -393,9 +412,14 @@ func (c *Controller) runRefreshTick(due sim.Time) {
 			continue
 		}
 		var res dram.RefreshResult
-		if cmd.Row >= 0 {
+		switch {
+		case cmd.Kind == dram.RefreshPerBank && cmd.Overlap:
+			res = c.module.RefreshBankOverlapped(due, cmd.Bank)
+		case cmd.Kind == dram.RefreshPerBank:
+			res = c.module.RefreshBank(due, cmd.Bank)
+		case cmd.Row >= 0:
 			res = c.module.RefreshRow(due, cmd.RowID())
-		} else {
+		default:
 			res = c.module.RefreshNextCBR(due, cmd.Bank)
 		}
 		c.refreshes[res.Kind]++
@@ -450,9 +474,17 @@ func (c *Controller) Submit(req Request) dram.AccessResult {
 		panic(fmt.Sprintf("memctrl: request at %v before controller time %v", req.Time, c.now))
 	}
 	c.now = req.Time
+	addr := c.mapper.Map(req.Addr)
+	if c.bankAware != nil {
+		// Arbitration: report the demand before draining refresh events at
+		// or before req.Time, so a per-bank refresh due exactly now on this
+		// bank sees the pressure and defers (demand-first tie-break) —
+		// unless its deficit window forces it, in which case refresh-first
+		// is the correct, retention-safe order.
+		c.bankAware.OnDemandObserved(req.Time, addr.BankOf(), req.Write)
+	}
 	c.drainRefreshes(req.Time)
 
-	addr := c.mapper.Map(req.Addr)
 	if c.selfRefreshActive(addr.Channel, addr.Rank) {
 		c.exitSelfRefresh(req.Time, addr.Channel, addr.Rank)
 	}
@@ -486,6 +518,18 @@ func (c *Controller) Submit(req Request) dram.AccessResult {
 		c.lastbusy = res.Done
 	}
 	return res
+}
+
+// observeQueuedDemand gives a bank-aware policy lookahead into the
+// reorder buffer: the scheduler reports each request at enqueue time,
+// before the batch issues, so per-bank refreshes can be deferred around
+// demand that is queued but not yet submitted. A no-op for legacy
+// policies.
+func (c *Controller) observeQueuedDemand(req Request) {
+	if c.bankAware == nil {
+		return
+	}
+	c.bankAware.OnDemandObserved(req.Time, c.mapper.Map(req.Addr).BankOf(), req.Write)
 }
 
 // LastCompletion returns the completion time of the latest demand access.
@@ -541,6 +585,7 @@ type Results struct {
 	RefreshOps       uint64
 	RefreshCBR       uint64
 	RefreshRASOnly   uint64
+	RefreshPerBank   uint64
 	RefreshPerSecond float64
 	DemandStall      sim.Duration
 	// RefreshesDroppedSelfRefresh counts policy refresh commands elided
@@ -566,6 +611,7 @@ func (c *Controller) Results(end sim.Time) Results {
 		RefreshOps:     ms.RefreshOps,
 		RefreshCBR:     ms.RefreshCBROps,
 		RefreshRASOnly: ms.RefreshRASOnlyOps,
+		RefreshPerBank: ms.RefreshPerBankOps,
 		DemandStall:    ms.DemandStall,
 
 		RefreshesDroppedSelfRefresh: c.refreshesDroppedSR,

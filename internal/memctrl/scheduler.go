@@ -93,6 +93,11 @@ func (s *Scheduler) Enqueue(req Request) {
 		panic(fmt.Sprintf("memctrl: scheduler request at %v before %v", req.Time, s.queue[n-1].Time))
 	}
 	s.queue = append(s.queue, req)
+	// A bank-aware refresh policy sees the request now, while it is still
+	// queued: the controller's refresh-vs-demand arbiter postpones
+	// per-bank refreshes around demand that has arrived but not yet
+	// issued. No-op for legacy policies.
+	s.ctl.observeQueuedDemand(req)
 	s.st.Enqueued++
 	if len(s.queue) > s.st.MaxQueued {
 		s.st.MaxQueued = len(s.queue)

@@ -31,7 +31,7 @@ import (
 	"smartrefresh/internal/sim"
 )
 
-// CommandKind enumerates the traced DRAM command event types — the eight
+// CommandKind enumerates the traced DRAM command event types — the
 // timeline event families the tracer records (self-refresh entry/exit is
 // one span event).
 type CommandKind uint8
@@ -44,6 +44,8 @@ const (
 	CmdWrite
 	CmdRefreshRASOnly
 	CmdRefreshCBR
+	CmdRefreshPB   // per-bank refresh (REFpb), blocking or overlapped
+	CmdRefreshAB   // all-bank refresh (REFab), one event per bank
 	CmdSelfRefresh // one span from mode entry to exit
 	CmdIdleClose   // controller-initiated idle page-close precharge
 	numCommandKinds
@@ -64,6 +66,10 @@ func (k CommandKind) String() string {
 		return "REF-RAS"
 	case CmdRefreshCBR:
 		return "REF-CBR"
+	case CmdRefreshPB:
+		return "REF-PB"
+	case CmdRefreshAB:
+		return "REF-AB"
 	case CmdSelfRefresh:
 		return "SELF-REF"
 	case CmdIdleClose:

@@ -199,6 +199,7 @@ func TestCommandKindStrings(t *testing.T) {
 	want := map[CommandKind]string{
 		CmdActivate: "ACT", CmdPrecharge: "PRE", CmdRead: "READ", CmdWrite: "WRITE",
 		CmdRefreshRASOnly: "REF-RAS", CmdRefreshCBR: "REF-CBR",
+		CmdRefreshPB: "REF-PB", CmdRefreshAB: "REF-AB",
 		CmdSelfRefresh: "SELF-REF", CmdIdleClose: "IDLE-CLOSE",
 	}
 	if len(want) != int(numCommandKinds) {

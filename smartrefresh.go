@@ -129,6 +129,27 @@ func NewOraclePolicy(cfg Config) Policy {
 	return core.NewOracle(cfg.Geometry, cfg.RefreshInterval(), cfg.Timing.TRefreshRow*16)
 }
 
+// PerBankConfig parameterises the per-bank DARP/SARP policy family.
+type PerBankConfig = core.PerBankConfig
+
+// DefaultPerBankConfig returns the JEDEC-flavoured per-bank defaults
+// (8 postponements, 8 pull-ins).
+func DefaultPerBankConfig() PerBankConfig { return core.DefaultPerBankConfig() }
+
+// NewDARPPolicy builds the DARP-style per-bank policy: refresh slots are
+// postponed at read-busy banks, pulled into idle ones, and forced at the
+// deficit cap.
+func NewDARPPolicy(cfg Config, pb PerBankConfig) Policy {
+	return core.NewDARP(cfg.Geometry, cfg.RefreshInterval(), pb)
+}
+
+// NewSARPPolicy builds the SARP-style per-bank policy: every refresh is
+// issued in the overlapped form so demand to the bank's other subarrays
+// proceeds underneath it.
+func NewSARPPolicy(cfg Config, pb PerBankConfig) Policy {
+	return core.NewSARP(cfg.Geometry, cfg.RefreshInterval(), pb)
+}
+
 // Optimality returns the section 4.4 metric (1 - 2^-bits).
 func Optimality(counterBits int) float64 { return core.Optimality(counterBits) }
 
@@ -218,6 +239,8 @@ const (
 	PolicyBurst  = experiment.PolicyBurst
 	PolicyNone   = experiment.PolicyNone
 	PolicyOracle = experiment.PolicyOracle
+	PolicyDARP   = experiment.PolicyDARP
+	PolicySARP   = experiment.PolicySARP
 )
 
 // Evaluated configurations.
@@ -248,6 +271,8 @@ const (
 	CmdWrite          = telemetry.CmdWrite
 	CmdRefreshRASOnly = telemetry.CmdRefreshRASOnly
 	CmdRefreshCBR     = telemetry.CmdRefreshCBR
+	CmdRefreshPB      = telemetry.CmdRefreshPB
+	CmdRefreshAB      = telemetry.CmdRefreshAB
 	CmdSelfRefresh    = telemetry.CmdSelfRefresh
 	CmdIdleClose      = telemetry.CmdIdleClose
 )
