@@ -41,6 +41,8 @@ func TestPolicyAdvanceSteadyStateAllocFree(t *testing.T) {
 		{"oracle", smartrefresh.NewOraclePolicy(cfg), tickStep},
 		{"darp", smartrefresh.NewDARPPolicy(cfg, smartrefresh.DefaultPerBankConfig()), tickStep},
 		{"sarp", smartrefresh.NewSARPPolicy(cfg, smartrefresh.DefaultPerBankConfig()), tickStep},
+		{"raidr", smartrefresh.NewRAIDRPolicy(cfg, smartrefresh.DefaultRAIDRConfig(),
+			smartrefresh.NewRetentionMap(cfg.Geometry, smartrefresh.DefaultRetentionClasses(), 1)), tickStep},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -315,6 +315,22 @@ func BenchmarkSARPPolicyAdvance(b *testing.B) {
 	_ = cmds
 }
 
+func BenchmarkRAIDRPolicyAdvance(b *testing.B) {
+	cfg := smartrefresh.Table1_2GB()
+	rmap := smartrefresh.NewRetentionMap(cfg.Geometry, smartrefresh.DefaultRetentionClasses(), 1)
+	p := smartrefresh.NewRAIDRPolicy(cfg, smartrefresh.DefaultRAIDRConfig(), rmap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t smartrefresh.Time
+	var cmds []smartrefresh.RefreshCommand
+	step := cfg.RefreshInterval() / smartrefresh.Duration(cfg.Geometry.TotalRows())
+	for i := 0; i < b.N; i++ {
+		t += step
+		cmds = p.Advance(t, cmds[:0])
+	}
+	_ = cmds
+}
+
 func BenchmarkControllerSubmit(b *testing.B) {
 	cfg := smartrefresh.Table1_2GB()
 	ctl, err := smartrefresh.NewController(cfg, smartrefresh.NewSmartPolicy(cfg),

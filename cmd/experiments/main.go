@@ -2,8 +2,9 @@
 // as per-benchmark tables with measured and published GMEANs, plus the
 // section 4.4 optimality study, the figure 2 stagger ablation, the
 // section 5 queue sizing study, the RAS-only bus overhead ablation, the
-// refresh-access-parallelism (DARP/SARP per-bank refresh) study, and the
-// section 4.6 idle-OS self-disable experiment.
+// RAIDR multirate Bloom-filter wheel ablation (bin count x profile
+// error under VRT), the refresh-access-parallelism (DARP/SARP per-bank
+// refresh) study, and the section 4.6 idle-OS self-disable experiment.
 //
 // Simulations run on a worker pool (-jobs, default one worker per CPU)
 // and are memoised, so the figure groups that share a sweep (6/7/8,
@@ -247,6 +248,15 @@ func runAblations(ctx context.Context, eng *experiment.Engine, opts experiment.R
 		fmt.Printf("  %-16s refresh ops=%-8d reduction=%6.2f%% refreshE=%8.3f mJ totalE=%8.3f mJ\n",
 			p.Policy, p.RefreshOps, p.RefreshReductionPct, p.RefreshEnergyMJ, p.TotalEnergyMJ)
 	}
+	fmt.Println()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fmt.Println("== RAIDR multirate Bloom-filter wheel: bin count x profile error (benchmark: gcc) ==")
+	fmt.Print(experiment.FormatRAIDRStudy(experiment.RAIDRStudy(eng, gcc,
+		[]int{1, 2, 3}, []float64{0, 0.05, 0.15},
+		workload.VRTSpec{FlipFraction: 0.02, Period: 256 * sim.Millisecond}, opts)))
 	fmt.Println()
 
 	if err := ctx.Err(); err != nil {

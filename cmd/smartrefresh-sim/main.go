@@ -36,7 +36,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("smartrefresh-sim", flag.ContinueOnError)
 	cfgName := fs.String("config", "table1-2gb", "module preset: "+strings.Join(presetNames(), ", "))
-	policyName := fs.String("policy", "smart", "refresh policy: cbr, smart, burst, none, oracle, smart-retention, darp, sarp")
+	policyName := fs.String("policy", "smart", "refresh policy: cbr, smart, burst, none, oracle, smart-retention, darp, sarp, raidr")
 	benchmark := fs.String("benchmark", "gcc", "benchmark profile (see -list); ignored with -trace")
 	tracePath := fs.String("trace", "", "replay a trace file instead of a synthetic benchmark")
 	warmupMS := fs.Int("warmup-ms", 64, "warmup excluded from measurement, ms")
@@ -74,6 +74,9 @@ func run(args []string) error {
 	}
 	if *policyName == "smart-retention" {
 		return runRetentionAware(cfg, *benchmark, opts, &tf)
+	}
+	if *policyName == "raidr" {
+		return runRAIDR(cfg, *benchmark, opts, &tf)
 	}
 	kind, err := parsePolicy(*policyName)
 	if err != nil {
@@ -161,6 +164,49 @@ func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOpt
 	}
 	ctl.Finish(end)
 	printResults(cfg, ctl.Results(end), end, ctl.RetentionErr())
+	return tf.Finish()
+}
+
+// runRAIDR runs the multirate Bloom-filter wheel, which the experiment
+// harness does not cover by PolicyKind: the filters are programmed from
+// a profiled retention map derived from the benchmark seed, and the
+// retention checker (under -check) verifies the profiled per-row
+// deadlines.
+func runRAIDR(cfg config.DRAM, benchmark string, opts experiment.RunOptions, tf *telemetry.Flags) error {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return err
+	}
+	rmap := core.NewRetentionMap(cfg.Geometry, core.DefaultRetentionClasses(), prof.Seed())
+	policy := core.NewRAIDR(cfg.Geometry, cfg.RefreshInterval(), core.DefaultRAIDRConfig(), rmap)
+	ctl, err := memctrl.New(cfg, policy, memctrl.Options{
+		CheckRetention: opts.CheckRetention,
+		// The wheel keeps CBR's drift-free cadence, so CBR's slack model
+		// applies.
+		RetentionSlack:   experiment.RetentionSlack(cfg, experiment.PolicyCBR, opts),
+		RetentionMap:     rmap,
+		SelfRefreshAfter: opts.SelfRefreshAfter,
+		Trace:            tf.Tracer(),
+		Metrics:          tf.Registry(),
+	})
+	if err != nil {
+		return err
+	}
+	gen := prof.NewSource(opts.Stacked)
+	end := opts.Warmup + opts.Measure
+	for {
+		rec, ok := gen.Next()
+		if !ok || rec.Time >= end {
+			break
+		}
+		ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
+	}
+	ctl.Finish(end)
+	res := ctl.Results(end)
+	printResults(cfg, res, end, ctl.RetentionErr())
+	fmt.Printf("raidr             %.1f%% multirate share, %d KB filter storage, %d bloom lookups, %d false positives\n",
+		100*policy.RefreshShare(), policy.FilterSizeBytes()/1024,
+		res.Policy.BloomLookups, res.Policy.BloomFalsePositives)
 	return tf.Finish()
 }
 

@@ -7,6 +7,7 @@ import (
 	"smartrefresh/internal/experiment"
 	"smartrefresh/internal/report"
 	"smartrefresh/internal/thermal"
+	"smartrefresh/internal/workload"
 )
 
 // This file exposes the library's extensions beyond the paper's core
@@ -55,6 +56,29 @@ func NewRetentionMap(g Geometry, classes []RetentionClass, seed uint64) *Retenti
 // classes: idle rows of class c are refreshed every c intervals.
 func NewRetentionAwarePolicy(cfg Config, rmap *RetentionMap) Policy {
 	return core.NewRetentionAwareSmart(cfg.Geometry, cfg.RefreshInterval(), cfg.Smart, rmap)
+}
+
+// RAIDR multirate refresh (Liu et al., related work).
+
+type (
+	// RAIDRConfig sizes the multirate wheel's retention bins and the
+	// Bloom filters that resolve them.
+	RAIDRConfig = core.RAIDRConfig
+	// VRTSpec injects variable-retention-time flips and profiling error
+	// into a workload's retention profile.
+	VRTSpec = workload.VRTSpec
+)
+
+// DefaultRAIDRConfig returns the paper-scale defaults: bins at 1x/2x/4x
+// the base interval with 128 KB Bloom filters per explicit bin.
+func DefaultRAIDRConfig() RAIDRConfig { return core.DefaultRAIDRConfig() }
+
+// NewRAIDRPolicy builds the RAIDR multirate wheel: rows are refreshed
+// every m base intervals, where m is the retention-bin multiplier the
+// Bloom filters resolve. False positives only demote rows to a
+// stronger (more frequent) rate, so lookups are always conservative.
+func NewRAIDRPolicy(cfg Config, raidr RAIDRConfig, rmap *RetentionMap) Policy {
+	return core.NewRAIDR(cfg.Geometry, cfg.RefreshInterval(), raidr, rmap)
 }
 
 // Dead-row elision (Ohsawa et al., section 8).
@@ -117,6 +141,8 @@ type (
 	BusOverheadPoint = experiment.BusOverheadPoint
 	// RetentionAwarePoint is one row of the extension study.
 	RetentionAwarePoint = experiment.RetentionAwarePoint
+	// RAIDRPoint is one row of the RAIDR bin-count x profile-error study.
+	RAIDRPoint = experiment.RAIDRPoint
 	// DisableStudyResult captures the section 4.6 idle-OS experiment.
 	DisableStudyResult = experiment.DisableStudyResult
 )
@@ -147,6 +173,17 @@ func BusOverheadStudy(eng *Engine, prof Profile, opts RunOptions) []BusOverheadP
 // RetentionAwareStudy compares CBR, Smart and retention-aware Smart.
 func RetentionAwareStudy(eng *Engine, prof Profile, opts RunOptions) []RetentionAwarePoint {
 	return experiment.RetentionAwareStudy(eng, prof, opts)
+}
+
+// RAIDRStudy sweeps RAIDR bin counts and profile-error rates against a
+// CBR baseline under VRT injection.
+func RAIDRStudy(eng *Engine, prof Profile, binCounts []int, profileErrors []float64, vrt VRTSpec, opts RunOptions) []RAIDRPoint {
+	return experiment.RAIDRStudy(eng, prof, binCounts, profileErrors, vrt, opts)
+}
+
+// FormatRAIDRStudy renders the study as a table string.
+func FormatRAIDRStudy(points []RAIDRPoint) string {
+	return experiment.FormatRAIDRStudy(points)
 }
 
 // DisableStudy runs the section 4.6 idle-OS experiment.

@@ -2,19 +2,22 @@
 // harness for the simulator. A Scenario (a DRAM configuration, a
 // synthetic workload and a run length, all derived deterministically from
 // a seed) is executed under every refresh policy — Smart Refresh, the
-// CBR/burst/oracle/no-refresh baselines, the retention-aware extension
-// and the per-bank refresh-access-parallelism pair (DARP/SARP) — and the
-// results are cross-checked against the properties the paper's
-// correctness and optimality arguments rest on:
+// CBR/burst/oracle/no-refresh baselines, the retention-aware extension,
+// the RAIDR multirate Bloom-filter wheel and the per-bank
+// refresh-access-parallelism pair (DARP/SARP) — and the results are
+// cross-checked against the properties the paper's correctness and
+// optimality arguments rest on:
 //
 //   - every refreshing policy honours the retention deadline (section
 //     4.3), verified by the memctrl retention checker with a slack
 //     matching the policy's documented transition bound — for DARP that
 //     slack covers the full postponement/pull-in deferral window;
 //   - Smart Refresh's refresh count lies between the oracle's and CBR's,
-//     up to a quantization slack (sections 4.4 and 4.6), and the per-bank
+//     up to a quantization slack (sections 4.4 and 4.6), the per-bank
 //     policies' counts match distributed CBR's nominal cadence up to the
-//     deferral window;
+//     deferral window, and RAIDR's count sits between the oracle's
+//     (scaled by its multirate share) and CBR's — with every raidr run
+//     also holding the *profiled* per-row retention deadlines;
 //   - the per-bank refresh deficit never exceeds the JEDEC-style
 //     postponement window (MaxPostpone owed refreshes);
 //   - the pending refresh request queue never exceeds its configured
@@ -180,13 +183,19 @@ func policyCases(sc Scenario) []policyCase {
 			make: func() core.Policy { return core.NewDARP(g, interval, pbCfg) }},
 		{name: "sarp", refreshes: true, slack: sarpSlack, perBank: &pbCfg,
 			make: func() core.Policy { return core.NewSARP(g, interval, pbCfg) }},
+		// The multirate wheel keeps CBR's drift-free cadence, so it shares
+		// CBR's slack; the retention map gives the checker the *profiled*
+		// per-row deadlines — the tentpole "no row ever crosses its
+		// profiled retention deadline" property.
+		{name: "raidr", refreshes: true, slack: baseSlack + transition, retMap: rmap,
+			make: func() core.Policy { return core.NewRAIDR(g, interval, core.DefaultRAIDRConfig(), rmap) }},
 	}
 }
 
 // PolicyNames lists the differential policy set in run order — the valid
 // inputs to CheckScenarioSelected (and cmd/simcheck's -policies flag).
 func PolicyNames() []string {
-	return []string{"smart", "cbr", "burst", "oracle", "none", "smart-retention", "darp", "sarp"}
+	return []string{"smart", "cbr", "burst", "oracle", "none", "smart-retention", "darp", "sarp", "raidr"}
 }
 
 // runPolicy executes one policy over the scenario, converting panics
@@ -327,6 +336,7 @@ func CheckScenarioSelected(ctx context.Context, sc Scenario, tr *telemetry.Trace
 	}
 	checkRefreshBounds(sc, byName, add)
 	checkPerBankBounds(sc, byName, add)
+	checkRAIDRBounds(sc, byName, add)
 	return rep, nil
 }
 
@@ -547,6 +557,35 @@ func checkPerBankBounds(sc Scenario, byName map[string]PolicyRun, add func(polic
 		if v+slack < c {
 			add(name, "refresh-bound-lower", "%s requested %d + slack %d < cbr %d", name, v, slack, c)
 		}
+	}
+}
+
+// checkRAIDRBounds places the multirate wheel's request count between a
+// share-scaled oracle and distributed CBR. RAIDR is demand-oblivious,
+// so on sparse traffic it refreshes *less* than the full-rate oracle —
+// the lower leg therefore scales the oracle's count by the wheel's
+// multirate share (computed from the actual programmed filters,
+// including false positives). Upper leg: the share never exceeds one,
+// so the wheel can never out-refresh CBR beyond end-of-run phase.
+// Skipped when cbr, oracle or raidr was filtered out.
+func checkRAIDRBounds(sc Scenario, byName map[string]PolicyRun, add func(policy, invariant, format string, args ...any)) {
+	raidr, okR := byName["raidr"]
+	cbr, okC := byName["cbr"]
+	oracle, okO := byName["oracle"]
+	if !okR || !okC || !okO || raidr.Panic != "" || cbr.Panic != "" || oracle.Panic != "" {
+		return
+	}
+	g := sc.Cfg.Geometry
+	rmap := core.NewRetentionMap(g, core.DefaultRetentionClasses(), sc.Seed)
+	share := core.NewRAIDR(g, sc.Cfg.Timing.RefreshInterval, core.DefaultRAIDRConfig(), rmap).RefreshShare()
+	slack := 2*uint64(g.TotalRows()) + 64
+	r, c, o := raidr.Res.Policy.RefreshesRequested, cbr.Res.Policy.RefreshesRequested, oracle.Res.Policy.RefreshesRequested
+	if r > c+slack {
+		add("raidr", "refresh-bound-upper", "raidr requested %d > cbr %d + slack %d", r, c, slack)
+	}
+	if scaled := uint64(share * float64(o)); r+slack < scaled {
+		add("raidr", "refresh-bound-lower", "raidr requested %d + slack %d < share %.3f x oracle %d = %d",
+			r, slack, share, o, scaled)
 	}
 }
 

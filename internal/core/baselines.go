@@ -378,5 +378,6 @@ var (
 	_ Policy    = (*Burst)(nil)
 	_ Policy    = NoRefresh{}
 	_ Policy    = (*Oracle)(nil)
+	_ Policy    = (*RAIDR)(nil)
 	_ BankAware = (*PerBank)(nil)
 )

@@ -113,6 +113,14 @@ type PolicyStats struct {
 	// unissued refreshes) after each slot decision; the JEDEC-style
 	// postponement window bounds it by PerBankConfig.MaxPostpone.
 	MaxRefreshDeficit int
+
+	// Bloom-filter bin telemetry (RAIDR; zero for the other policies).
+	// BloomLookups counts wheel-slot bin resolutions through the filter
+	// chain; BloomFalsePositives counts resolutions where a filter
+	// misreported the row into a weaker bin than its profiled class —
+	// the safe direction (extra refreshes, never missed ones).
+	BloomLookups        uint64
+	BloomFalsePositives uint64
 }
 
 // Sub returns the field-wise difference s - earlier for the monotone
@@ -133,6 +141,9 @@ func (s PolicyStats) Sub(earlier PolicyStats) PolicyStats {
 		RefreshesPulledIn:  s.RefreshesPulledIn - earlier.RefreshesPulledIn,
 		RefreshesForced:    s.RefreshesForced - earlier.RefreshesForced,
 		MaxRefreshDeficit:  s.MaxRefreshDeficit,
+
+		BloomLookups:        s.BloomLookups - earlier.BloomLookups,
+		BloomFalsePositives: s.BloomFalsePositives - earlier.BloomFalsePositives,
 	}
 }
 

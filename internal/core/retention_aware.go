@@ -71,18 +71,54 @@ func NewRetentionMap(g dram.Geometry, classes []RetentionClass, seed uint64) *Re
 	m := &RetentionMap{geom: g, mult: make([]uint8, g.TotalRows())}
 	rng := sim.NewRNG(seed)
 	for i := range m.mult {
-		r := rng.Float64() * total
-		acc := 0.0
-		m.mult[i] = uint8(classes[len(classes)-1].Multiplier)
-		for _, c := range classes {
-			acc += c.Fraction
-			if r < acc {
-				m.mult[i] = uint8(c.Multiplier)
-				break
-			}
-		}
+		m.mult[i] = classify(classes, rng.Float64()*total)
 	}
 	return m
+}
+
+// classify maps one uniform draw r in [0, total-fraction) to a class
+// multiplier by walking the accumulated fractions. A draw that escapes
+// the accumulation through floating-point shortfall (the partial sums
+// can undershoot the pre-summed total in the last ulps) falls back to
+// the last class.
+func classify(classes []RetentionClass, r float64) uint8 {
+	acc := 0.0
+	for _, c := range classes {
+		acc += c.Fraction
+		if r < acc {
+			return uint8(c.Multiplier)
+		}
+	}
+	return uint8(classes[len(classes)-1].Multiplier)
+}
+
+// NewRetentionMapFromMultipliers wraps an explicit per-row multiplier
+// assignment — the path the VRT/profile-error harness uses to build a
+// *profiled* map that deliberately disagrees with the true one. The
+// slice is copied; it must cover every row with multipliers in 1..16.
+func NewRetentionMapFromMultipliers(g dram.Geometry, mult []uint8) *RetentionMap {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if len(mult) != g.TotalRows() {
+		panic(fmt.Sprintf("core: %d multipliers for %d rows", len(mult), g.TotalRows()))
+	}
+	m := &RetentionMap{geom: g, mult: make([]uint8, len(mult))}
+	for i, v := range mult {
+		if v < 1 || v > 16 {
+			panic(fmt.Sprintf("core: retention multiplier %d outside 1..16", v))
+		}
+		m.mult[i] = v
+	}
+	return m
+}
+
+// Multipliers returns a copy of the per-row multiplier assignment,
+// indexed by flat row index.
+func (m *RetentionMap) Multipliers() []uint8 {
+	out := make([]uint8, len(m.mult))
+	copy(out, m.mult)
+	return out
 }
 
 // Multiplier returns the retention multiplier of a row.

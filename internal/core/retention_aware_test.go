@@ -81,6 +81,115 @@ func TestRetentionMapValidation(t *testing.T) {
 	}
 }
 
+// TestRetentionMapSeedIdentical: same seed, same classes -> the whole
+// multiplier assignment is bit-identical across reruns, not merely equal
+// per sampled row.
+func TestRetentionMapSeedIdentical(t *testing.T) {
+	g := paperGeom2GB()
+	a := NewRetentionMap(g, DefaultRetentionClasses(), 12345).Multipliers()
+	b := NewRetentionMap(g, DefaultRetentionClasses(), 12345).Multipliers()
+	if len(a) != len(b) || len(a) != g.TotalRows() {
+		t.Fatalf("multiplier slice lengths %d/%d, want %d", len(a), len(b), g.TotalRows())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("multipliers diverge at flat %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := NewRetentionMap(g, DefaultRetentionClasses(), 12346).Multipliers()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical maps")
+	}
+}
+
+// TestRetentionMapClassifyFallback exercises the floating-point
+// shortfall path: a draw at (or beyond) the summed total escapes the
+// accumulation loop and must land in the last class, not panic or
+// return a zero multiplier.
+func TestRetentionMapClassifyFallback(t *testing.T) {
+	classes := DefaultRetentionClasses()
+	var total float64
+	for _, c := range classes {
+		total += c.Fraction
+	}
+	last := uint8(classes[len(classes)-1].Multiplier)
+	if got := classify(classes, total); got != last {
+		t.Fatalf("classify(total) = %d, want last class %d", got, last)
+	}
+	// Fractions whose partial sums undershoot their pre-summed total in
+	// the final ulps: 10 x 0.1 accumulates to < 1.0 exactly.
+	tricky := make([]RetentionClass, 10)
+	for i := range tricky {
+		tricky[i] = RetentionClass{Multiplier: i + 1, Fraction: 0.1}
+	}
+	var acc float64
+	for _, c := range tricky {
+		acc += c.Fraction
+	}
+	if got := classify(tricky, acc); got != uint8(tricky[len(tricky)-1].Multiplier) {
+		t.Fatalf("classify at accumulated total = %d, want last class", got)
+	}
+	if got := classify(classes, 0); got != uint8(classes[0].Multiplier) {
+		t.Fatalf("classify(0) = %d, want first class %d", got, classes[0].Multiplier)
+	}
+}
+
+func TestRetentionMapFromMultipliers(t *testing.T) {
+	g := smallGeom()
+	ms := make([]uint8, g.TotalRows())
+	for i := range ms {
+		ms[i] = uint8(1 + i%4)
+	}
+	m := NewRetentionMapFromMultipliers(g, ms)
+	for flat := 0; flat < g.TotalRows(); flat++ {
+		if got := m.multiplierFlat(flat); got != int(ms[flat]) {
+			t.Fatalf("flat %d: multiplier %d, want %d", flat, got, ms[flat])
+		}
+	}
+	// The constructor copies: mutating the input must not leak through.
+	ms[0] = 9
+	if m.multiplierFlat(0) == 9 {
+		t.Fatal("constructor aliases the caller's slice")
+	}
+	out := m.Multipliers()
+	out[1] = 9
+	if m.multiplierFlat(1) == 9 {
+		t.Fatal("Multipliers returns an aliased slice")
+	}
+
+	for _, tc := range []struct {
+		name string
+		ms   []uint8
+	}{
+		{"short slice", make([]uint8, g.TotalRows()-1)},
+		{"zero multiplier", make([]uint8, g.TotalRows())},
+		{"huge multiplier", func() []uint8 {
+			s := make([]uint8, g.TotalRows())
+			for i := range s {
+				s[i] = 1
+			}
+			s[3] = 17
+			return s
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted", tc.name)
+				}
+			}()
+			NewRetentionMapFromMultipliers(g, tc.ms)
+		})
+	}
+}
+
 // TestRetentionAwareIdleRates: without accesses, a class-c row is
 // refreshed once every c intervals (the VRA behaviour), so the total
 // refresh volume matches the weighted harmonic rate.

@@ -68,6 +68,11 @@ type Job struct {
 	MakePolicy func() core.Policy
 	// MakeSource, when non-nil, overrides the profile's access stream.
 	MakeSource func() trace.Source
+	// RetentionMap, when non-nil together with Opts.CheckRetention,
+	// gives the run's retention checker per-row deadlines (the
+	// retention-aware and raidr studies check the multirate invariant,
+	// not the uniform base deadline).
+	RetentionMap *core.RetentionMap
 }
 
 // JobEvent describes one engine job to the instrumentation hooks.
@@ -431,6 +436,7 @@ func (e *Engine) runJobOnce(ctx context.Context, job Job) RunResult {
 			policy:    policy(),
 			source:    source(),
 			opts:      opts,
+			retMap:    job.RetentionMap,
 			trace:     e.Trace,
 			metrics:   e.Metrics,
 		})

@@ -198,6 +198,9 @@ type runJob struct {
 	policy    core.Policy
 	source    trace.Source
 	opts      RunOptions // defaults already applied
+	// retMap, when non-nil with opts.CheckRetention, scales the
+	// checker's per-row deadlines (see memctrl.Options.RetentionMap).
+	retMap *core.RetentionMap
 
 	trace   *telemetry.Tracer
 	metrics *telemetry.Registry
@@ -222,6 +225,7 @@ func execute(ctx context.Context, j runJob) (RunResult, error) {
 	}
 	if opts.CheckRetention {
 		mcOpts.RetentionSlack = RetentionSlack(j.cfg, j.kind, opts)
+		mcOpts.RetentionMap = j.retMap
 	}
 	if j.trace != nil || j.metrics != nil {
 		mcOpts.Trace = j.trace

@@ -252,6 +252,8 @@ func (c *Controller) registerMetrics(reg *telemetry.Registry, prefix string) {
 	reg.RegisterGauge(prefix+"/policy_counter_reads", func() float64 { return float64(c.policy.Stats().CounterReads) })
 	reg.RegisterGauge(prefix+"/policy_counter_writes", func() float64 { return float64(c.policy.Stats().CounterWrites) })
 	reg.RegisterGauge(prefix+"/policy_max_pending_per_tick", func() float64 { return float64(c.policy.Stats().MaxPendingPerTick) })
+	reg.RegisterGauge(prefix+"/policy_bloom_lookups", func() float64 { return float64(c.policy.Stats().BloomLookups) })
+	reg.RegisterGauge(prefix+"/policy_bloom_false_positives", func() float64 { return float64(c.policy.Stats().BloomFalsePositives) })
 }
 
 // Module exposes the underlying DRAM model.

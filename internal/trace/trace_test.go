@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -54,6 +56,104 @@ func TestLimit(t *testing.T) {
 	}
 }
 
+// TestLimitChainedOverSharedSource is the regression for the dropped
+// boundary record: the first record past a Limit's end used to be
+// consumed and discarded from the underlying source, so a second Limit
+// chained over the same source started one record short.
+func TestLimitChainedOverSharedSource(t *testing.T) {
+	src := NewSliceSource(sampleRecords())
+	first := NewLimit(src, 100) // passes only the t=0 record; t=1500 is the overshoot
+	n := 0
+	for {
+		if _, ok := first.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("first limit passed %d records, want 1", n)
+	}
+	second := NewLimit(src, 5000)
+	var rest []Record
+	for {
+		r, ok := second.Next()
+		if !ok {
+			break
+		}
+		rest = append(rest, r)
+	}
+	want := sampleRecords()[1:]
+	if len(rest) != len(want) {
+		t.Fatalf("second limit passed %d records, want %d (boundary record lost)", len(rest), len(want))
+	}
+	for i := range want {
+		if rest[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, rest[i], want[i])
+		}
+	}
+}
+
+// TestLimitNested: an outer Limit pushes its overshoot back into the
+// inner Limit (which implements Unreader), so nothing is lost across
+// the nesting either.
+func TestLimitNested(t *testing.T) {
+	src := NewSliceSource(sampleRecords())
+	inner := NewLimit(src, 5000)
+	outer := NewLimit(inner, 100)
+	for {
+		if _, ok := outer.Next(); !ok {
+			break
+		}
+	}
+	if r, ok := inner.Next(); !ok || r != sampleRecords()[1] {
+		t.Fatalf("inner limit lost the boundary record: got %+v ok=%v", r, ok)
+	}
+	if _, ok := outer.Pending(); ok {
+		t.Error("outer retained a pending record despite the inner Unreader")
+	}
+}
+
+// limitOnlySource hides SliceSource's Unread, forcing a wrapping Limit
+// onto its retention path.
+type limitOnlySource struct{ src *SliceSource }
+
+func (s limitOnlySource) Next() (Record, bool) { return s.src.Next() }
+
+// TestLimitPendingWithoutUnreader: when the source cannot take the
+// overshoot back, the Limit retains and exposes it instead of dropping
+// it.
+func TestLimitPendingWithoutUnreader(t *testing.T) {
+	l := NewLimit(limitOnlySource{NewSliceSource(sampleRecords())}, 100)
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+	}
+	if r, ok := l.Pending(); !ok || r != sampleRecords()[1] {
+		t.Fatalf("pending = %+v ok=%v, want the boundary record", r, ok)
+	}
+	// Ended is ended: further Next calls must not consume more records.
+	if _, ok := l.Next(); ok {
+		t.Error("ended limit yielded a record")
+	}
+}
+
+func TestSliceSourceUnread(t *testing.T) {
+	s := NewSliceSource(sampleRecords())
+	r1, _ := s.Next()
+	s.Unread(r1)
+	r2, ok := s.Next()
+	if !ok || r2 != r1 {
+		t.Fatalf("unread record not replayed: %+v vs %+v", r2, r1)
+	}
+	// Reset clears the push-back slot.
+	s.Unread(r1)
+	s.Reset()
+	if r, _ := s.Next(); r != sampleRecords()[0] {
+		t.Errorf("reset kept the unread slot: %+v", r)
+	}
+}
+
 func TestBinaryRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewBinaryWriter(&buf)
@@ -99,6 +199,66 @@ func TestBinaryEmptyTrace(t *testing.T) {
 	}
 	if r.Err() != nil {
 		t.Errorf("empty trace error: %v", r.Err())
+	}
+}
+
+// TestBinaryZeroByteStream is the regression for the Err contract: a
+// stream with no bytes at all (not even the magic) is a clean EOF, not
+// an io.EOF error.
+func TestBinaryZeroByteStream(t *testing.T) {
+	r := NewBinaryReader(strings.NewReader(""))
+	if _, ok := r.Next(); ok {
+		t.Fatal("zero-byte stream yielded a record")
+	}
+	if r.Err() != nil {
+		t.Errorf("zero-byte stream: Err() = %v, want nil (clean EOF)", r.Err())
+	}
+	// Stays clean on repeated polls.
+	if _, ok := r.Next(); ok || r.Err() != nil {
+		t.Errorf("second poll: Err() = %v", r.Err())
+	}
+}
+
+// TestBinaryTruncatedMagic: 1..7 bytes of magic is a torn header, which
+// must surface as io.ErrUnexpectedEOF — distinguishable from both clean
+// EOF and a wrong-format stream.
+func TestBinaryTruncatedMagic(t *testing.T) {
+	for n := 1; n < 8; n++ {
+		r := NewBinaryReader(bytes.NewReader([]byte("SRTRCE01")[:n]))
+		if _, ok := r.Next(); ok {
+			t.Fatalf("%d-byte magic yielded a record", n)
+		}
+		if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
+			t.Errorf("%d-byte magic: Err() = %v, want io.ErrUnexpectedEOF", n, r.Err())
+		}
+	}
+}
+
+// TestBinaryTornRecord: a stream cut mid-record reports the torn tail.
+func TestBinaryTornRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()-5] // cut the last record short
+	r := NewBinaryReader(bytes.NewReader(torn))
+	for i := 0; i < len(recs)-1; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatalf("whole record %d missing: %v", i, r.Err())
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("torn record yielded")
+	}
+	if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
+		t.Errorf("torn record: Err() = %v, want io.ErrUnexpectedEOF", r.Err())
 	}
 }
 

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/sim"
+)
+
+// Variable retention time (VRT) and profile-error injection. Retention
+// profiling assumes each row's retention time is a fixed property, but
+// real cells exhibit VRT: a metastable trap toggles a cell between a
+// long- and a short-retention state minutes to hours apart, so a row
+// profiled healthy can later decay below its assigned refresh rate.
+// RAIDR-style multirate refresh inherits whatever the profile got
+// wrong; this model makes that gap measurable. It deliberately lives in
+// the workload package and operates on raw multiplier slices so the
+// harness can build a *profiled* map (what the controller believes) and
+// a *true* retention trajectory (what the cells do) independently of
+// any policy.
+
+// VRTSpec parameterises the injection.
+type VRTSpec struct {
+	// FlipFraction is the share of rows subject to VRT. An affected
+	// row's true retention square-waves between its nominal class and a
+	// weakened one (half the nominal multiplier, floor 1): for half of
+	// each period the row needs refreshes twice as often as profiled.
+	FlipFraction float64
+
+	// Period is the full VRT oscillation period. Each affected row gets
+	// a random phase so transitions are spread in time. Zero disables
+	// the time dependence (affected rows are weak permanently, the
+	// worst case).
+	Period sim.Duration
+
+	// ProfileError is the share of rows whose *profiled* class
+	// overstates their retention: the profiler saw the row during its
+	// long-retention state (or mismeasured) and assigned double the
+	// true multiplier, capped at 16. This is the optimistic direction —
+	// the dangerous one for a multirate wheel.
+	ProfileError float64
+}
+
+// validate rejects out-of-range knobs.
+func (s VRTSpec) validate() error {
+	if s.FlipFraction < 0 || s.FlipFraction > 1 {
+		return fmt.Errorf("workload: VRT flip fraction %v outside [0, 1]", s.FlipFraction)
+	}
+	if s.Period < 0 {
+		return fmt.Errorf("workload: negative VRT period %v", s.Period)
+	}
+	if s.ProfileError < 0 || s.ProfileError > 1 {
+		return fmt.Errorf("workload: profile-error fraction %v outside [0, 1]", s.ProfileError)
+	}
+	return nil
+}
+
+// VRT holds the per-row VRT assignment and the (possibly erroneous)
+// profiled multipliers derived from a nominal per-row assignment.
+type VRT struct {
+	spec    VRTSpec
+	nominal []uint8 // true class absent VRT
+	flip    []bool  // rows subject to VRT oscillation
+	phase   []int64 // per-row oscillation phase offset, in time units
+	prof    []uint8 // what the profiler reports
+}
+
+// weakened returns the short-retention state of a VRT-affected row:
+// half the nominal multiplier, floor 1.
+func weakened(m uint8) uint8 {
+	if m <= 1 {
+		return 1
+	}
+	return m / 2
+}
+
+// NewVRT assigns VRT and profile errors over a nominal per-row
+// multiplier slice, deterministically from the seed. The slice is
+// copied. An invalid spec panics.
+func NewVRT(spec VRTSpec, nominal []uint8, seed uint64) *VRT {
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	v := &VRT{
+		spec:    spec,
+		nominal: make([]uint8, len(nominal)),
+		flip:    make([]bool, len(nominal)),
+		phase:   make([]int64, len(nominal)),
+		prof:    make([]uint8, len(nominal)),
+	}
+	copy(v.nominal, nominal)
+	rng := sim.NewRNG(seed)
+	for i, m := range v.nominal {
+		v.flip[i] = rng.Bool(spec.FlipFraction)
+		if spec.Period > 0 {
+			v.phase[i] = rng.Int63n(int64(spec.Period))
+		}
+		v.prof[i] = m
+		if rng.Bool(spec.ProfileError) {
+			// Optimistic profile: double the reported retention.
+			doubled := int(m) * 2
+			if doubled > 16 {
+				doubled = 16
+			}
+			v.prof[i] = uint8(doubled)
+		}
+	}
+	return v
+}
+
+// Profiled returns the multiplier slice the profiler reports — the
+// input a refresh policy's retention map should be built from. The
+// returned slice is a copy.
+func (v *VRT) Profiled() []uint8 {
+	out := make([]uint8, len(v.prof))
+	copy(out, v.prof)
+	return out
+}
+
+// TrueMultiplierAt returns a row's actual retention multiplier at time
+// t: the nominal class, or the weakened one while a VRT-affected row is
+// in its short-retention half-period.
+func (v *VRT) TrueMultiplierAt(t sim.Time, flat int) uint8 {
+	if !v.flip[flat] {
+		return v.nominal[flat]
+	}
+	if v.spec.Period <= 0 {
+		return weakened(v.nominal[flat])
+	}
+	pos := (int64(t) + v.phase[flat]) % int64(v.spec.Period)
+	if pos < int64(v.spec.Period)/2 {
+		return v.nominal[flat]
+	}
+	return weakened(v.nominal[flat])
+}
+
+// WorstMultiplier returns the minimum true multiplier a row ever takes —
+// the retention a safe refresh schedule must cover.
+func (v *VRT) WorstMultiplier(flat int) uint8 {
+	if v.flip[flat] {
+		return weakened(v.nominal[flat])
+	}
+	return v.nominal[flat]
+}
+
+// AffectedRows returns how many rows are subject to VRT oscillation.
+func (v *VRT) AffectedRows() int {
+	n := 0
+	for _, f := range v.flip {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Rows returns the number of rows covered.
+func (v *VRT) Rows() int { return len(v.nominal) }

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+
+	"smartrefresh/internal/sim"
+)
+
+func uniformNominal(rows int, mult uint8) []uint8 {
+	out := make([]uint8, rows)
+	for i := range out {
+		out[i] = mult
+	}
+	return out
+}
+
+func TestVRTSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec VRTSpec
+	}{
+		{"negative flip", VRTSpec{FlipFraction: -0.1}},
+		{"flip over one", VRTSpec{FlipFraction: 1.5}},
+		{"negative period", VRTSpec{Period: -1}},
+		{"negative error", VRTSpec{ProfileError: -0.2}},
+		{"error over one", VRTSpec{ProfileError: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("spec %+v accepted", tc.spec)
+				}
+			}()
+			NewVRT(tc.spec, uniformNominal(16, 2), 1)
+		})
+	}
+}
+
+func TestVRTDeterministic(t *testing.T) {
+	spec := VRTSpec{FlipFraction: 0.3, Period: 100 * sim.Millisecond, ProfileError: 0.2}
+	nominal := uniformNominal(1024, 4)
+	a := NewVRT(spec, nominal, 99)
+	b := NewVRT(spec, nominal, 99)
+	for flat := 0; flat < len(nominal); flat++ {
+		if a.WorstMultiplier(flat) != b.WorstMultiplier(flat) {
+			t.Fatalf("worst multiplier diverges at %d", flat)
+		}
+		for _, at := range []sim.Time{0, 33 * sim.Millisecond, 250 * sim.Millisecond} {
+			if a.TrueMultiplierAt(at, flat) != b.TrueMultiplierAt(at, flat) {
+				t.Fatalf("true multiplier diverges at row %d time %v", flat, at)
+			}
+		}
+	}
+	pa, pb := a.Profiled(), b.Profiled()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("profiled multiplier diverges at %d", i)
+		}
+	}
+}
+
+func TestVRTFractions(t *testing.T) {
+	const rows = 8192
+	spec := VRTSpec{FlipFraction: 0.25, Period: 64 * sim.Millisecond, ProfileError: 0.1}
+	v := NewVRT(spec, uniformNominal(rows, 4), 7)
+	if got := float64(v.AffectedRows()) / rows; got < 0.21 || got > 0.29 {
+		t.Fatalf("affected fraction %v, want ~0.25", got)
+	}
+	errs := 0
+	for _, m := range v.Profiled() {
+		if m != 4 {
+			if m != 8 {
+				t.Fatalf("profile error produced multiplier %d, want doubled 8", m)
+			}
+			errs++
+		}
+	}
+	if got := float64(errs) / rows; got < 0.07 || got > 0.13 {
+		t.Fatalf("profile-error fraction %v, want ~0.1", got)
+	}
+	if v.Rows() != rows {
+		t.Fatalf("Rows = %d, want %d", v.Rows(), rows)
+	}
+}
+
+// TestVRTOscillation: an affected row square-waves between nominal and
+// weakened over the period; an unaffected row never moves.
+func TestVRTOscillation(t *testing.T) {
+	const period = 64 * sim.Millisecond
+	spec := VRTSpec{FlipFraction: 0.5, Period: period}
+	v := NewVRT(spec, uniformNominal(256, 4), 3)
+
+	sawWeak, sawNominal := false, false
+	for flat := 0; flat < v.Rows(); flat++ {
+		worst := v.WorstMultiplier(flat)
+		affected := worst != 4
+		if affected && worst != 2 {
+			t.Fatalf("row %d worst multiplier %d, want weakened 2", flat, worst)
+		}
+		for k := sim.Time(0); k < 4*sim.Time(period); k += sim.Time(period) / 16 {
+			m := v.TrueMultiplierAt(k, flat)
+			if !affected && m != 4 {
+				t.Fatalf("unaffected row %d drifted to %d at %v", flat, m, k)
+			}
+			if affected {
+				switch m {
+				case 4:
+					sawNominal = true
+				case 2:
+					sawWeak = true
+				default:
+					t.Fatalf("affected row %d at %v has multiplier %d", flat, k, m)
+				}
+			}
+			if m < worst {
+				t.Fatalf("row %d true multiplier %d below worst %d", flat, m, worst)
+			}
+		}
+	}
+	if !sawWeak || !sawNominal {
+		t.Fatalf("oscillation inert: sawWeak=%v sawNominal=%v", sawWeak, sawNominal)
+	}
+}
+
+// TestVRTPermanentWeak: zero period pins affected rows in their weak
+// state — the worst case the checker sweeps use.
+func TestVRTPermanentWeak(t *testing.T) {
+	v := NewVRT(VRTSpec{FlipFraction: 1}, uniformNominal(64, 2), 5)
+	for flat := 0; flat < v.Rows(); flat++ {
+		if m := v.TrueMultiplierAt(123*sim.Millisecond, flat); m != 1 {
+			t.Fatalf("row %d multiplier %d, want permanently weakened 1", flat, m)
+		}
+	}
+	// Weakening floors at 1: class-1 rows cannot get weaker.
+	v1 := NewVRT(VRTSpec{FlipFraction: 1}, uniformNominal(8, 1), 5)
+	for flat := 0; flat < v1.Rows(); flat++ {
+		if m := v1.WorstMultiplier(flat); m != 1 {
+			t.Fatalf("class-1 row weakened to %d", m)
+		}
+	}
+}
+
+// TestVRTProfileErrorCaps: doubling saturates at 16, the retention-map
+// ceiling.
+func TestVRTProfileErrorCaps(t *testing.T) {
+	v := NewVRT(VRTSpec{ProfileError: 1}, uniformNominal(32, 16), 11)
+	for _, m := range v.Profiled() {
+		if m != 16 {
+			t.Fatalf("profiled multiplier %d, want capped 16", m)
+		}
+	}
+	// With no knobs set the profile is the nominal map.
+	clean := NewVRT(VRTSpec{}, uniformNominal(32, 4), 11)
+	for flat, m := range clean.Profiled() {
+		if m != 4 {
+			t.Fatalf("clean profile drifted to %d", m)
+		}
+		if tm := clean.TrueMultiplierAt(0, flat); tm != 4 {
+			t.Fatalf("clean true multiplier %d", tm)
+		}
+	}
+	if clean.AffectedRows() != 0 {
+		t.Fatalf("clean spec affected %d rows", clean.AffectedRows())
+	}
+}
