@@ -1,21 +1,32 @@
 // Command smartrefresh-sim runs one DRAM simulation: a module preset, a
 // refresh policy, and either a synthetic benchmark workload or a trace
-// file, printing refresh, energy and latency results.
+// stream, printing refresh, energy and latency results.
+//
+// Trace replay is streaming: the input may be binary or text, plain or
+// gzip-compressed, a file or stdin ("-trace -"), and is decoded with
+// bounded memory — a day-long trace never fits in RAM and never has to.
+// With -serve the simulator becomes a long-lived service accepting trace
+// streams over HTTP POST and emitting incremental telemetry snapshots
+// while each replay runs.
 //
 // Examples:
 //
 //	smartrefresh-sim -config table1-2gb -policy smart -benchmark gcc
 //	smartrefresh-sim -config table2-3d-32ms -policy cbr -benchmark mummer
 //	smartrefresh-sim -config table1-2gb -policy smart -trace run.trc
+//	zcat day.trc.gz | smartrefresh-sim -policy smart -trace -
+//	smartrefresh-sim -serve localhost:8080
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
+	"smartrefresh/internal/atomicio"
 	"smartrefresh/internal/config"
 	"smartrefresh/internal/core"
 	"smartrefresh/internal/experiment"
@@ -27,23 +38,29 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smartrefresh-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smartrefresh-sim", flag.ContinueOnError)
 	cfgName := fs.String("config", "table1-2gb", "module preset: "+strings.Join(presetNames(), ", "))
 	policyName := fs.String("policy", "smart", "refresh policy: cbr, smart, burst, none, oracle, smart-retention, darp, sarp, raidr")
 	benchmark := fs.String("benchmark", "gcc", "benchmark profile (see -list); ignored with -trace")
-	tracePath := fs.String("trace", "", "replay a trace file instead of a synthetic benchmark")
+	tracePath := fs.String("trace", "", "replay a trace stream instead of a synthetic benchmark (file path, or '-' for stdin; binary/text, gzip auto-detected)")
 	warmupMS := fs.Int("warmup-ms", 64, "warmup excluded from measurement, ms")
 	measureMS := fs.Int("measure-ms", 256, "measured window, ms")
 	check := fs.Bool("check", false, "verify the retention invariant during the run")
 	selfRefreshUS := fs.Int("selfrefresh-us", 0, "enter module self-refresh after this demand-idle time (0 = off)")
 	list := fs.Bool("list", false, "list benchmarks and presets, then exit")
+	serveAddr := fs.String("serve", "", "run as a trace-replay service on this address (e.g. localhost:8080) instead of a batch job")
+	capturePath := fs.String("capture", "", "record the replayed or generated access stream to this binary trace file for later bit-exact replay")
+	snapshotMS := fs.Int("snapshot-ms", 0, "emit an incremental telemetry snapshot every N simulated ms during trace replay (0 = off)")
+	snapshotOut := fs.String("snapshot-out", "-", "incremental snapshot sink: '-' streams JSON lines to stdout, a path is atomically rewritten with the latest snapshot")
+	bufferKB := fs.Int("stream-buffer-kb", trace.DefaultStreamBuffer/1024, "trace read-ahead buffer in KiB; bounds trace-side memory however large the input")
+	tornOK := fs.Bool("torn-ok", false, "tolerate a trace cut mid-record: replay the complete prefix instead of failing")
 	// -trace is taken by access-trace replay, so the telemetry trace
 	// output is -trace-out here.
 	var tf telemetry.Flags
@@ -53,12 +70,16 @@ func run(args []string) error {
 	}
 
 	if *list {
-		fmt.Println("presets:   ", strings.Join(presetNames(), ", "))
-		fmt.Println("benchmarks:", strings.Join(workload.Names(), ", "))
+		fmt.Fprintln(stdout, "presets:   ", strings.Join(presetNames(), ", "))
+		fmt.Fprintln(stdout, "benchmarks:", strings.Join(workload.Names(), ", "))
 		return nil
 	}
 	if err := tf.Start(); err != nil {
 		return err
+	}
+
+	if *serveAddr != "" {
+		return runServe(*serveAddr, stdout)
 	}
 
 	cfg, ok := config.Presets()[*cfgName]
@@ -73,10 +94,10 @@ func run(args []string) error {
 		SelfRefreshAfter: sim.Time(*selfRefreshUS) * sim.Microsecond,
 	}
 	if *policyName == "smart-retention" {
-		return runRetentionAware(cfg, *benchmark, opts, &tf)
+		return runRetentionAware(cfg, *benchmark, opts, &tf, stdout)
 	}
 	if *policyName == "raidr" {
-		return runRAIDR(cfg, *benchmark, opts, &tf)
+		return runRAIDR(cfg, *benchmark, opts, &tf, stdout)
 	}
 	kind, err := parsePolicy(*policyName)
 	if err != nil {
@@ -84,12 +105,38 @@ func run(args []string) error {
 	}
 
 	if *tracePath != "" {
-		return runTrace(cfg, kind, *tracePath, opts, &tf)
+		p := replayParams{
+			cfg:       cfg,
+			kind:      kind,
+			check:     *check,
+			bufKB:     *bufferKB,
+			tornOK:    *tornOK,
+			tracer:    tf.Tracer(),
+			reg:       tf.Registry(),
+			snapEvery: sim.Time(*snapshotMS) * sim.Millisecond,
+		}
+		if p.snapEvery > 0 {
+			if *snapshotOut == "-" {
+				p.snapEmit = telemetry.JSONLEmitter(stdout)
+			} else {
+				p.snapEmit = telemetry.FileEmitter(*snapshotOut)
+			}
+		}
+		return runTrace(*tracePath, stdin, *capturePath, p, &tf, stdout)
 	}
 
 	prof, err := workload.ByName(*benchmark)
 	if err != nil {
 		return err
+	}
+	if *capturePath != "" {
+		// Record the generator stream over the run window first; the
+		// generators are deterministic per seed, so the engine run below
+		// sees a bit-identical stream and a later replay of the capture
+		// reproduces exactly what was simulated.
+		if err := captureBenchmark(prof, opts, *capturePath); err != nil {
+			return err
+		}
 	}
 	eng := experiment.NewEngine(1)
 	eng.Trace = tf.Tracer()
@@ -98,7 +145,7 @@ func run(args []string) error {
 	if res.Err != nil {
 		return res.Err
 	}
-	printResults(cfg, res.Results, opts.Measure, res.RetentionErr)
+	printResults(stdout, cfg, res.Results, opts.Measure, res.RetentionErr)
 	return tf.Finish()
 }
 
@@ -132,9 +179,30 @@ func parsePolicy(name string) (experiment.PolicyKind, error) {
 	}
 }
 
+// captureBenchmark records prof's access stream over the run window as
+// a binary trace, via the atomic writer so an interrupted capture never
+// leaves a torn file that looks like a trace.
+func captureBenchmark(prof workload.Profile, opts experiment.RunOptions, path string) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		bw := trace.NewBinaryWriter(w)
+		src := trace.NewCapture(prof.NewSource(opts.Stacked), bw)
+		end := opts.Warmup + opts.Measure
+		for {
+			rec, ok := src.Next()
+			if !ok || rec.Time >= end {
+				break
+			}
+		}
+		if err := src.Err(); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
 // runRetentionAware runs the retention-aware extension policy, which the
 // experiment harness does not cover by PolicyKind.
-func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOptions, tf *telemetry.Flags) error {
+func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOptions, tf *telemetry.Flags, stdout io.Writer) error {
 	prof, err := workload.ByName(benchmark)
 	if err != nil {
 		return err
@@ -163,7 +231,7 @@ func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOpt
 		ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
 	}
 	ctl.Finish(end)
-	printResults(cfg, ctl.Results(end), end, ctl.RetentionErr())
+	printResults(stdout, cfg, ctl.Results(end), end, ctl.RetentionErr())
 	return tf.Finish()
 }
 
@@ -172,7 +240,7 @@ func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOpt
 // a profiled retention map derived from the benchmark seed, and the
 // retention checker (under -check) verifies the profiled per-row
 // deadlines.
-func runRAIDR(cfg config.DRAM, benchmark string, opts experiment.RunOptions, tf *telemetry.Flags) error {
+func runRAIDR(cfg config.DRAM, benchmark string, opts experiment.RunOptions, tf *telemetry.Flags, stdout io.Writer) error {
 	prof, err := workload.ByName(benchmark)
 	if err != nil {
 		return err
@@ -203,47 +271,87 @@ func runRAIDR(cfg config.DRAM, benchmark string, opts experiment.RunOptions, tf 
 	}
 	ctl.Finish(end)
 	res := ctl.Results(end)
-	printResults(cfg, res, end, ctl.RetentionErr())
-	fmt.Printf("raidr             %.1f%% multirate share, %d KB filter storage, %d bloom lookups, %d false positives\n",
+	printResults(stdout, cfg, res, end, ctl.RetentionErr())
+	fmt.Fprintf(stdout, "raidr             %.1f%% multirate share, %d KB filter storage, %d bloom lookups, %d false positives\n",
 		100*policy.RefreshShare(), policy.FilterSizeBytes()/1024,
 		res.Policy.BloomLookups, res.Policy.BloomFalsePositives)
 	return tf.Finish()
 }
 
-// runTrace replays a trace file directly against the controller.
-func runTrace(cfg config.DRAM, kind experiment.PolicyKind, path string, opts experiment.RunOptions, tf *telemetry.Flags) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+// replayParams configure one streaming trace replay.
+type replayParams struct {
+	cfg       config.DRAM
+	kind      experiment.PolicyKind
+	check     bool
+	bufKB     int
+	tornOK    bool
+	snapEvery sim.Duration
+	snapEmit  func(telemetry.Snapshot) error
+	tracer    *telemetry.Tracer
+	reg       *telemetry.Registry
+	capture   *trace.BinaryWriter
+}
 
-	var src trace.Source
-	var errf func() error
-	// Sniff the binary magic.
-	head := make([]byte, 8)
-	n, _ := f.Read(head)
-	if _, err := f.Seek(0, 0); err != nil {
-		return err
-	}
-	if n == 8 && string(head) == "SRTRCE01" {
-		br := trace.NewBinaryReader(f)
-		src, errf = br, br.Err
-	} else {
-		tr := trace.NewTextReader(f)
-		src, errf = tr, tr.Err
-	}
+// replayOutcome is what a streaming replay produced.
+type replayOutcome struct {
+	Records      uint64
+	End          sim.Time
+	Format       trace.StreamFormat
+	Gzipped      bool
+	Torn         bool
+	Results      memctrl.Results
+	RetentionErr error
+}
 
-	policy := experiment.NewPolicy(cfg, kind)
-	ctl, err := memctrl.New(cfg, policy, memctrl.Options{
-		CheckRetention: opts.CheckRetention,
-		RetentionSlack: experiment.RetentionSlack(cfg, kind, opts),
-		Trace:          tf.Tracer(),
-		Metrics:        tf.Registry(),
+// replayStream drives a trace stream through a fresh controller with
+// bounded memory: the raw bytes are decoded chunk by chunk (gzip and
+// format auto-detected), every record is validated against the Source
+// contract (nondecreasing, nonnegative time — a malformed trace fails
+// at its offending record index instead of corrupting accounting), and
+// incremental telemetry snapshots are emitted on the simulated-time
+// cadence of p.snapEvery.
+func replayStream(r io.Reader, p replayParams) (replayOutcome, error) {
+	var out replayOutcome
+
+	stream, err := trace.NewStreamSource(r, trace.StreamOptions{
+		BufferBytes:  p.bufKB * 1024,
+		TolerateTorn: p.tornOK,
 	})
 	if err != nil {
-		return err
+		return out, err
 	}
+	out.Format, out.Gzipped = stream.Format(), stream.Gzipped()
+
+	v := trace.NewValidator(stream)
+	var src interface {
+		trace.Source
+		Err() error
+	} = v
+	if p.capture != nil {
+		src = trace.NewCapture(v, p.capture)
+	}
+
+	reg := p.reg
+	var snap *telemetry.Snapshotter
+	if p.snapEvery > 0 && p.snapEmit != nil {
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		snap = telemetry.NewSnapshotter(reg, p.snapEvery, p.snapEmit)
+	}
+
+	opts := experiment.RunOptions{CheckRetention: p.check}
+	policy := experiment.NewPolicy(p.cfg, p.kind)
+	ctl, err := memctrl.New(p.cfg, policy, memctrl.Options{
+		CheckRetention: p.check,
+		RetentionSlack: experiment.RetentionSlack(p.cfg, p.kind, opts),
+		Trace:          p.tracer,
+		Metrics:        reg,
+	})
+	if err != nil {
+		return out, err
+	}
+
 	var end sim.Time
 	for {
 		rec, ok := src.Next()
@@ -252,51 +360,106 @@ func runTrace(cfg config.DRAM, kind experiment.PolicyKind, path string, opts exp
 		}
 		ctl.Submit(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
 		end = rec.Time
+		out.Records++
+		if err := snap.Observe(rec.Time, out.Records); err != nil {
+			return out, fmt.Errorf("snapshot: %w", err)
+		}
 	}
-	if err := errf(); err != nil {
+	if err := src.Err(); err != nil {
+		return out, err
+	}
+	out.Torn = stream.Torn()
+
+	end += p.cfg.Timing.RefreshInterval
+	ctl.Finish(end)
+	out.End = end
+	out.Results = ctl.Results(end)
+	out.RetentionErr = ctl.RetentionErr()
+	if err := snap.Final(end, out.Records); err != nil {
+		return out, fmt.Errorf("snapshot: %w", err)
+	}
+	return out, nil
+}
+
+// runTrace replays a trace stream (file or stdin) against the
+// controller.
+func runTrace(path string, stdin io.Reader, capturePath string, p replayParams, tf *telemetry.Flags, stdout io.Writer) error {
+	var r io.Reader
+	if path == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var out replayOutcome
+	var err error
+	if capturePath != "" {
+		// The capture rides the atomic writer: a replay that fails —
+		// including on a validation error — leaves no half-recorded
+		// trace behind.
+		err = atomicio.WriteFile(capturePath, func(w io.Writer) error {
+			bw := trace.NewBinaryWriter(w)
+			p.capture = bw
+			var rerr error
+			out, rerr = replayStream(r, p)
+			if rerr != nil {
+				return rerr
+			}
+			return bw.Flush()
+		})
+	} else {
+		out, err = replayStream(r, p)
+	}
+	if err != nil {
 		return err
 	}
-	end += cfg.Timing.RefreshInterval
-	ctl.Finish(end)
-	printResults(cfg, ctl.Results(end), end, ctl.RetentionErr())
+	if out.Torn {
+		fmt.Fprintf(os.Stderr, "smartrefresh-sim: warning: trace was cut mid-record; replayed the complete prefix (%d records)\n", out.Records)
+	}
+	printResults(stdout, p.cfg, out.Results, out.End, out.RetentionErr)
 	return tf.Finish()
 }
 
-func printResults(cfg config.DRAM, res memctrl.Results, window sim.Duration, retErr error) {
+func printResults(w io.Writer, cfg config.DRAM, res memctrl.Results, window sim.Duration, retErr error) {
 	e := res.Energy
-	fmt.Printf("config            %s (%d rows, %v refresh interval)\n",
+	fmt.Fprintf(w, "config            %s (%d rows, %v refresh interval)\n",
 		cfg.Name, cfg.Geometry.TotalRows(), cfg.Timing.RefreshInterval)
-	fmt.Printf("window            %v\n", window)
-	fmt.Printf("demand accesses   %d (%.1f%% row hits)\n",
+	fmt.Fprintf(w, "window            %v\n", window)
+	fmt.Fprintf(w, "demand accesses   %d (%.1f%% row hits)\n",
 		res.Module.Accesses, pct(res.Module.RowHits, res.Module.Accesses))
-	fmt.Printf("latency           avg %.1f ns, p50 %.0f ns, p99 %.0f ns\n",
+	fmt.Fprintf(w, "latency           avg %.1f ns, p50 %.0f ns, p99 %.0f ns\n",
 		res.AvgLatencyNS, res.P50LatencyNS, res.P99LatencyNS)
-	fmt.Printf("refresh ops       %d (%d CBR, %d RAS-only; %.0f/s)\n",
+	fmt.Fprintf(w, "refresh ops       %d (%d CBR, %d RAS-only; %.0f/s)\n",
 		res.Module.RefreshOps, res.Module.RefreshCBROps, res.Module.RefreshRASOnlyOps,
 		float64(res.Module.RefreshOps)/window.Seconds())
-	fmt.Printf("baseline rate     %.0f/s\n", cfg.BaselineRefreshesPerSecond())
-	fmt.Printf("demand stall      %v\n", res.Module.DemandStall)
-	fmt.Println("energy breakdown:")
-	fmt.Printf("  background      %10.3f mJ\n", e.Background.Millijoules())
-	fmt.Printf("  activate/pre    %10.3f mJ\n", e.ActPre.Millijoules())
-	fmt.Printf("  read            %10.3f mJ\n", e.Read.Millijoules())
-	fmt.Printf("  write           %10.3f mJ\n", e.Write.Millijoules())
-	fmt.Printf("  refresh array   %10.3f mJ\n", e.RefreshArray.Millijoules())
-	fmt.Printf("  refresh bus     %10.3f mJ\n", e.RefreshBus.Millijoules())
-	fmt.Printf("  counter array   %10.3f mJ\n", e.RefreshCounter.Millijoules())
-	fmt.Printf("  TOTAL           %10.3f mJ (refresh-related %.3f mJ, %.1f%%)\n",
+	fmt.Fprintf(w, "baseline rate     %.0f/s\n", cfg.BaselineRefreshesPerSecond())
+	fmt.Fprintf(w, "demand stall      %v\n", res.Module.DemandStall)
+	fmt.Fprintln(w, "energy breakdown:")
+	fmt.Fprintf(w, "  background      %10.3f mJ\n", e.Background.Millijoules())
+	fmt.Fprintf(w, "  activate/pre    %10.3f mJ\n", e.ActPre.Millijoules())
+	fmt.Fprintf(w, "  read            %10.3f mJ\n", e.Read.Millijoules())
+	fmt.Fprintf(w, "  write           %10.3f mJ\n", e.Write.Millijoules())
+	fmt.Fprintf(w, "  refresh array   %10.3f mJ\n", e.RefreshArray.Millijoules())
+	fmt.Fprintf(w, "  refresh bus     %10.3f mJ\n", e.RefreshBus.Millijoules())
+	fmt.Fprintf(w, "  counter array   %10.3f mJ\n", e.RefreshCounter.Millijoules())
+	fmt.Fprintf(w, "  TOTAL           %10.3f mJ (refresh-related %.3f mJ, %.1f%%)\n",
 		e.Total().Millijoules(), e.RefreshRelated().Millijoules(),
 		100*float64(e.RefreshRelated())/float64(e.Total()))
 	if ps := res.Policy; ps.CounterReads > 0 || ps.TimeDisabled > 0 {
-		fmt.Printf("policy            %d counter reads, %d writes, %d access resets, max %d pending/tick",
+		fmt.Fprintf(w, "policy            %d counter reads, %d writes, %d access resets, max %d pending/tick",
 			ps.CounterReads, ps.CounterWrites, ps.AccessResets, ps.MaxPendingPerTick)
 		if ps.TimeDisabled > 0 {
-			fmt.Printf(", disabled for %v", ps.TimeDisabled)
+			fmt.Fprintf(w, ", disabled for %v", ps.TimeDisabled)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if retErr != nil {
-		fmt.Printf("RETENTION VIOLATION: %v\n", retErr)
+		fmt.Fprintf(w, "RETENTION VIOLATION: %v\n", retErr)
 	}
 }
 

@@ -6,9 +6,11 @@
 //
 //	tracegen -benchmark gcc -duration-ms 100 -o gcc.trc
 //	tracegen -benchmark mummer -stacked -format text -o mummer.txt
+//	tracegen -benchmark gcc -duration-ms 1000 -gzip -o gcc.trc.gz
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +35,7 @@ func run(args []string, stdout io.Writer) error {
 	stacked := fs.Bool("stacked", false, "emit the 3D-cache stream instead of the main-memory stream")
 	durationMS := fs.Int("duration-ms", 128, "trace length in simulated milliseconds")
 	format := fs.String("format", "binary", "output format: binary or text")
+	gz := fs.Bool("gzip", false, "gzip-compress the output (replay tools auto-detect)")
 	out := fs.String("o", "-", "output file ('-' for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +54,11 @@ func run(args []string, stdout io.Writer) error {
 
 	var n uint64
 	generate := func(w io.Writer) error {
+		var zw *gzip.Writer
+		if *gz {
+			zw = gzip.NewWriter(w)
+			w = zw
+		}
 		var write func(trace.Record) error
 		var flush func() error
 		switch *format {
@@ -73,7 +81,15 @@ func run(args []string, stdout io.Writer) error {
 			}
 			n++
 		}
-		return flush()
+		if err := flush(); err != nil {
+			return err
+		}
+		if zw != nil {
+			// Close, not Flush: the gzip trailer (CRC + size) is what lets
+			// a replayer detect truncation.
+			return zw.Close()
+		}
+		return nil
 	}
 
 	// Streaming to stdout reports flush errors directly (a reader that
@@ -87,8 +103,12 @@ func run(args []string, stdout io.Writer) error {
 	} else if err := atomicio.WriteFile(*out, generate); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records over %d ms (%s, %s stream)\n",
-		n, *durationMS, *format, streamName(*stacked))
+	suffix := ""
+	if *gz {
+		suffix = ", gzip"
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records over %d ms (%s, %s stream%s)\n",
+		n, *durationMS, *format, streamName(*stacked), suffix)
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"io"
 	"os"
 	"path/filepath"
@@ -56,6 +58,72 @@ func TestGenerateTextTrace(t *testing.T) {
 	r := trace.NewTextReader(f)
 	if _, ok := r.Next(); !ok {
 		t.Fatalf("no records: %v", r.Err())
+	}
+}
+
+// TestGenerateGzipTrace: -gzip output is a well-formed gzip stream
+// whose payload is byte-identical to the uncompressed run, and the
+// sniffing StreamSource replays it transparently.
+func TestGenerateGzipTrace(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "out.trc")
+	packed := filepath.Join(dir, "out.trc.gz")
+	args := []string{"-benchmark", "fasta", "-duration-ms", "2", "-o"}
+	if err := run(append(args, plain), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-gzip"}, append(args, packed)...), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatalf("gzip trailer invalid: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gzip payload differs from plain output: %d vs %d bytes", len(got), len(want))
+	}
+
+	g, err := os.Open(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	src, err := trace.NewStreamSource(g, trace.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Gzipped() || src.Format() != trace.FormatBinary {
+		t.Errorf("sniffed format=%v gzipped=%v", src.Format(), src.Gzipped())
+	}
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records replayed from gzip trace")
 	}
 }
 

@@ -1,0 +1,56 @@
+package trace
+
+// Capture tees every record a Source yields through a BinaryWriter, so
+// any stream — a replayed file, a synthetic workload generator, a live
+// server ingest — can be recorded for later bit-exact replay while it
+// drives a simulation. A write failure latches in Err and ends the
+// stream rather than silently recording a truncated trace under a run
+// that completed.
+type Capture struct {
+	src Source
+	w   *BinaryWriter
+	err error
+}
+
+// NewCapture wraps src, recording each yielded record into w. The
+// caller still owns flushing w after the stream is drained.
+func NewCapture(src Source, w *BinaryWriter) *Capture {
+	return &Capture{src: src, w: w}
+}
+
+// Next implements Source.
+func (c *Capture) Next() (Record, bool) {
+	if c.err != nil {
+		return Record{}, false
+	}
+	rec, ok := c.src.Next()
+	if !ok {
+		return Record{}, false
+	}
+	if err := c.w.Write(rec); err != nil {
+		c.err = err
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Err returns the first capture write error, or the wrapped source's
+// own latched error when it exposes one.
+func (c *Capture) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	return sourceErr(c.src)
+}
+
+// Count returns the number of records recorded.
+func (c *Capture) Count() uint64 { return c.w.Count() }
+
+// sourceErr returns src's latched error when it exposes the Err
+// convention shared by the reader types, and nil otherwise.
+func sourceErr(src Source) error {
+	if es, ok := src.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestCaptureRoundTrip: teeing a source through a capture yields the
+// same records to the consumer AND records a stream that decodes back
+// bit-identically.
+func TestCaptureRoundTrip(t *testing.T) {
+	recs := genRecords(500)
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	c := NewCapture(NewSliceSource(recs), bw)
+	got := drain(t, c)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) || c.Count() != uint64(len(recs)) {
+		t.Fatalf("tee yielded %d records, recorded %d, want %d", len(got), c.Count(), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("tee record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if want := encodeBinary(t, recs); !bytes.Equal(buf.Bytes(), want) {
+		t.Error("captured bytes differ from a direct encode of the same records")
+	}
+	replayed := drain(t, NewBinaryReader(bytes.NewReader(buf.Bytes())))
+	for i := range recs {
+		if replayed[i] != recs[i] {
+			t.Fatalf("replayed record %d = %+v, want %+v", i, replayed[i], recs[i])
+		}
+	}
+}
+
+// failWriter errors after n bytes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n -= len(p); w.n < 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+// TestCaptureWriteErrorEndsStream: a failing capture sink must stop the
+// run and surface the error — never complete a run with a silently
+// truncated recording behind it.
+func TestCaptureWriteErrorEndsStream(t *testing.T) {
+	// The BinaryWriter buffers 4096 bytes, so allow a few flushes
+	// before the failure hits.
+	bw := NewBinaryWriter(&failWriter{n: 8192})
+	c := NewCapture(NewSliceSource(genRecords(5000)), bw)
+	got := drain(t, c)
+	if c.Err() == nil {
+		t.Fatal("capture over a failing writer reported no error")
+	}
+	if len(got) >= 5000 {
+		t.Error("capture yielded the whole stream despite the write failure")
+	}
+	if _, ok := c.Next(); ok {
+		t.Error("capture yielded a record after the write failure")
+	}
+}
+
+// TestCaptureChainsSourceErr: the wrapped source's decode error is
+// visible through the capture.
+func TestCaptureChainsSourceErr(t *testing.T) {
+	raw := encodeBinary(t, genRecords(10))
+	br := NewBinaryReader(bytes.NewReader(raw[:len(raw)-5]))
+	var buf bytes.Buffer
+	c := NewCapture(br, NewBinaryWriter(&buf))
+	drain(t, c)
+	if c.Err() == nil {
+		t.Fatal("torn source error not chained through capture")
+	}
+}

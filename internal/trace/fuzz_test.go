@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"smartrefresh/internal/sim"
+)
+
+// FuzzBinaryRoundTrip drives the binary codec and the streaming ingest
+// path from both ends: arbitrary bytes fed to the auto-detecting
+// StreamSource must never panic and must either decode or latch an
+// error, and records derived from the same bytes must round-trip
+// encode→decode bit-exactly, through gzip and plain framing alike.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add([]byte("SRTRCE01"), true)
+	f.Add([]byte("1 2 R\n3 4 W\n"), false)
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00}, false)
+	seed := encodeBinaryFuzz(sampleRecords())
+	f.Add(seed, true)
+	f.Add(seed[:len(seed)-5], false) // torn tail
+
+	f.Fuzz(func(t *testing.T, data []byte, gz bool) {
+		// 1. Ingest robustness: whatever the bytes, the stream source
+		// either errors at construction or drains without panicking,
+		// with any decode failure latched in Err.
+		if s, err := NewStreamSource(bytes.NewReader(data), StreamOptions{BufferBytes: 4096, ChunkRecords: 16}); err == nil {
+			for {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+			_ = s.Err()
+		}
+
+		// 2. Round-trip exactness: interpret the data as records (times
+		// masked into int64 range, as the writer's callers guarantee),
+		// encode, optionally gzip, stream back, compare.
+		var recs []Record
+		for i := 0; i+17 <= len(data) && len(recs) < 4096; i += 17 {
+			recs = append(recs, Record{
+				Time:  sim.Time(binary.LittleEndian.Uint64(data[i:i+8]) & math.MaxInt64),
+				Addr:  binary.LittleEndian.Uint64(data[i+8 : i+16]),
+				Write: data[i+16]&1 == 1,
+			})
+		}
+		raw := encodeBinaryFuzz(recs)
+		if gz {
+			var zbuf bytes.Buffer
+			zw := gzip.NewWriter(&zbuf)
+			if _, err := zw.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+			if err := zw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			raw = zbuf.Bytes()
+		}
+		s, err := NewStreamSource(bytes.NewReader(raw), StreamOptions{BufferBytes: 4096, ChunkRecords: 16})
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		for i, want := range recs {
+			got, ok := s.Next()
+			if !ok {
+				t.Fatalf("record %d missing: %v", i, s.Err())
+			}
+			if got != want {
+				t.Fatalf("record %d = %+v, want %+v", i, got, want)
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatal("extra record after round trip")
+		}
+		if err := s.Err(); err != nil {
+			t.Fatalf("round trip ended with error: %v", err)
+		}
+	})
+}
+
+// encodeBinaryFuzz renders records through the binary codec without a
+// *testing.T (usable from fuzz seeds).
+func encodeBinaryFuzz(recs []Record) []byte {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

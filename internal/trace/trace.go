@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -146,6 +147,13 @@ var binaryMagic = [8]byte{'S', 'R', 'T', 'R', 'C', 'E', '0', '1'}
 // ErrBadMagic reports a stream that is not a binary trace.
 var ErrBadMagic = errors.New("trace: bad magic; not a binary trace")
 
+// ErrTimeOverflow reports a binary record whose unsigned time field
+// exceeds math.MaxInt64. The codec stores times as uint64 on the wire
+// but sim.Time is int64; decoding such a value would yield a negative
+// timestamp the text codec's ParseRecord rejects, so the binary reader
+// rejects it too instead of silently corrupting the stream.
+var ErrTimeOverflow = errors.New("trace: time overflows int64")
+
 // BinaryWriter encodes records to a stream.
 type BinaryWriter struct {
 	w       *bufio.Writer
@@ -198,7 +206,12 @@ func (bw *BinaryWriter) Flush() error {
 type BinaryReader struct {
 	r       *bufio.Reader
 	started bool
+	n       uint64
 	err     error
+	// buf is the record scratch buffer. As a field rather than a local
+	// it stays off the heap: a local passed through io.ReadFull's
+	// io.Reader parameter escapes, which cost an allocation per record.
+	buf [17]byte
 }
 
 // NewBinaryReader wraps r.
@@ -228,17 +241,22 @@ func (br *BinaryReader) Next() (Record, bool) {
 		}
 		br.started = true
 	}
-	var buf [17]byte
-	if _, err := io.ReadFull(br.r, buf[:]); err != nil {
+	if _, err := io.ReadFull(br.r, br.buf[:]); err != nil {
 		if err != io.EOF {
 			br.err = err
 		}
 		return Record{}, false
 	}
+	t := binary.LittleEndian.Uint64(br.buf[0:8])
+	if t > math.MaxInt64 {
+		br.err = fmt.Errorf("%w: record %d has time %#x", ErrTimeOverflow, br.n, t)
+		return Record{}, false
+	}
+	br.n++
 	return Record{
-		Time:  sim.Time(binary.LittleEndian.Uint64(buf[0:8])),
-		Addr:  binary.LittleEndian.Uint64(buf[8:16]),
-		Write: buf[16] != 0,
+		Time:  sim.Time(t),
+		Addr:  binary.LittleEndian.Uint64(br.buf[8:16]),
+		Write: br.buf[16] != 0,
 	}, true
 }
 

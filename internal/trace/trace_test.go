@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -259,6 +261,87 @@ func TestBinaryTornRecord(t *testing.T) {
 	}
 	if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
 		t.Errorf("torn record: Err() = %v, want io.ErrUnexpectedEOF", r.Err())
+	}
+}
+
+// TestBinaryTimeOverflow is the regression for the uint64→int64 hole:
+// a wire time above math.MaxInt64 used to decode into a negative
+// sim.Time the text codec would have rejected. It must surface as
+// ErrTimeOverflow naming the record, and MaxInt64 itself must still
+// decode.
+func TestBinaryTimeOverflow(t *testing.T) {
+	craft := func(times ...uint64) []byte {
+		var buf bytes.Buffer
+		buf.Write([]byte("SRTRCE01"))
+		for _, tm := range times {
+			var rec [17]byte
+			binary.LittleEndian.PutUint64(rec[0:8], tm)
+			binary.LittleEndian.PutUint64(rec[8:16], 0x1000)
+			buf.Write(rec[:])
+		}
+		return buf.Bytes()
+	}
+
+	r := NewBinaryReader(bytes.NewReader(craft(100, math.MaxInt64)))
+	for i := 0; i < 2; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatalf("in-range record %d rejected: %v", i, r.Err())
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("MaxInt64 time rejected: %v", r.Err())
+	}
+
+	r = NewBinaryReader(bytes.NewReader(craft(100, uint64(math.MaxInt64)+1, 200)))
+	if _, ok := r.Next(); !ok {
+		t.Fatalf("first record rejected: %v", r.Err())
+	}
+	if rec, ok := r.Next(); ok {
+		t.Fatalf("overflowing time decoded as %+v", rec)
+	}
+	if !errors.Is(r.Err(), ErrTimeOverflow) {
+		t.Fatalf("Err() = %v, want ErrTimeOverflow", r.Err())
+	}
+	if !strings.Contains(r.Err().Error(), "record 1") {
+		t.Errorf("error %q does not name record 1", r.Err())
+	}
+	// The error is latched: the stream stays ended.
+	if _, ok := r.Next(); ok {
+		t.Error("reader yielded a record after the overflow error")
+	}
+}
+
+// TestLimitOverBinaryReader: a BinaryReader is not an Unreader, so a
+// Limit over it must retain the boundary overshoot in Pending rather
+// than dropping it.
+func TestLimitOverBinaryReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range sampleRecords() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := NewBinaryReader(&buf)
+	l := NewLimit(br, 100) // only the t=0 record passes; t=1500 is the overshoot
+	n := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("limit passed %d records, want 1", n)
+	}
+	if rec, ok := l.Pending(); !ok || rec != sampleRecords()[1] {
+		t.Fatalf("Pending() = %+v ok=%v, want the boundary record", rec, ok)
+	}
+	if br.Err() != nil {
+		t.Errorf("reader error: %v", br.Err())
 	}
 }
 

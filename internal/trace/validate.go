@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"fmt"
+
+	"smartrefresh/internal/sim"
+)
+
+// Validation errors, matchable with errors.Is.
+var (
+	// ErrOutOfOrder reports a record whose time ran backwards. The
+	// Source contract promises nondecreasing times; controller
+	// accounting (idle-close timers, refresh deadlines, latency
+	// histograms) silently corrupts on a violation, so ingest rejects it
+	// with the offending record's index instead.
+	ErrOutOfOrder = errorString("trace: record out of order")
+	// ErrNegativeTime reports a record before t=0. The codecs reject
+	// these at decode time; the validator catches in-process sources.
+	ErrNegativeTime = errorString("trace: negative record time")
+)
+
+// errorString is a comparable sentinel error.
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Validator wraps a Source and enforces its contract: every record's
+// time must be nonnegative and not before its predecessor's. The first
+// violation latches in Err (with the zero-based record index) and ends
+// the stream, so a malformed trace fails loudly at the offending record
+// instead of corrupting controller accounting downstream.
+type Validator struct {
+	src  Source
+	idx  uint64
+	last sim.Time
+	err  error
+}
+
+// NewValidator wraps src.
+func NewValidator(src Source) *Validator { return &Validator{src: src} }
+
+// Next implements Source.
+func (v *Validator) Next() (Record, bool) {
+	if v.err != nil {
+		return Record{}, false
+	}
+	rec, ok := v.src.Next()
+	if !ok {
+		return Record{}, false
+	}
+	if rec.Time < 0 {
+		v.err = fmt.Errorf("%w: record %d has time %d", ErrNegativeTime, v.idx, int64(rec.Time))
+		return Record{}, false
+	}
+	if rec.Time < v.last {
+		v.err = fmt.Errorf("%w: record %d has time %v, before record %d's %v",
+			ErrOutOfOrder, v.idx, rec.Time, v.idx-1, v.last)
+		return Record{}, false
+	}
+	v.last = rec.Time
+	v.idx++
+	return rec, true
+}
+
+// Err returns the first contract violation, or the wrapped source's own
+// latched error when it exposes one.
+func (v *Validator) Err() error {
+	if v.err != nil {
+		return v.err
+	}
+	return sourceErr(v.src)
+}
+
+// Records returns the number of records that passed validation.
+func (v *Validator) Records() uint64 { return v.idx }

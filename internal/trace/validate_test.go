@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidatorPassesOrderedStream(t *testing.T) {
+	v := NewValidator(NewSliceSource(sampleRecords()))
+	got := drain(t, v)
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if err := v.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Records() != 3 {
+		t.Errorf("Records() = %d", v.Records())
+	}
+	// Equal timestamps are legal (nondecreasing, not increasing).
+	v = NewValidator(NewSliceSource([]Record{{Time: 5}, {Time: 5}}))
+	if got := drain(t, v); len(got) != 2 || v.Err() != nil {
+		t.Errorf("equal timestamps rejected: %d records, err %v", len(got), v.Err())
+	}
+}
+
+// TestValidatorRejectsOutOfOrder: the first backwards timestamp latches
+// an error naming the offending record index.
+func TestValidatorRejectsOutOfOrder(t *testing.T) {
+	v := NewValidator(NewSliceSource([]Record{
+		{Time: 0}, {Time: 100}, {Time: 50}, {Time: 200},
+	}))
+	got := drain(t, v)
+	if len(got) != 2 {
+		t.Fatalf("passed %d records before the violation, want 2", len(got))
+	}
+	err := v.Err()
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("Err() = %v, want ErrOutOfOrder", err)
+	}
+	if !strings.Contains(err.Error(), "record 2") {
+		t.Errorf("error %q does not name record 2", err)
+	}
+	// The stream stays ended; no further records leak out.
+	if _, ok := v.Next(); ok {
+		t.Error("validator yielded a record after the violation")
+	}
+}
+
+func TestValidatorRejectsNegativeTime(t *testing.T) {
+	v := NewValidator(NewSliceSource([]Record{{Time: 10}, {Time: -3}}))
+	drain(t, v)
+	if !errors.Is(v.Err(), ErrNegativeTime) {
+		t.Fatalf("Err() = %v, want ErrNegativeTime", v.Err())
+	}
+	if !strings.Contains(v.Err().Error(), "record 1") {
+		t.Errorf("error %q does not name record 1", v.Err())
+	}
+}
+
+// TestValidatorChainsSourceErr: a decode error from the wrapped reader
+// surfaces through the validator's Err, so callers check one place.
+func TestValidatorChainsSourceErr(t *testing.T) {
+	recs := genRecords(10)
+	raw := encodeBinary(t, recs)
+	torn := raw[:len(raw)-5]
+	br := NewBinaryReader(bytes.NewReader(torn))
+	v := NewValidator(br)
+	drain(t, v)
+	if v.Err() == nil {
+		t.Fatal("torn underlying stream reported no error through the validator")
+	}
+}
+
+func TestValidatorOverStreamSource(t *testing.T) {
+	// An out-of-order record inside a binary stream is caught with its
+	// index even through the chunked streaming source.
+	recs := genRecords(100)
+	recs[40].Time = recs[39].Time - 1
+	s, err := NewStreamSource(bytes.NewReader(encodeBinary(t, recs)), StreamOptions{ChunkRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator(s)
+	got := drain(t, v)
+	if len(got) != 40 {
+		t.Fatalf("passed %d records, want 40", len(got))
+	}
+	if !errors.Is(v.Err(), ErrOutOfOrder) || !strings.Contains(v.Err().Error(), "record 40") {
+		t.Errorf("Err() = %v, want ErrOutOfOrder at record 40", v.Err())
+	}
+}

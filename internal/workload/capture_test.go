@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/trace"
+)
+
+// TestGeneratorCaptureRoundTrip: teeing a workload generator through a
+// Capture+BinaryWriter and replaying the recorded bytes reproduces the
+// generator's stream bit-exactly — the property the sim's -capture flag
+// relies on for reproducible replays of synthetic runs.
+func TestGeneratorCaptureRoundTrip(t *testing.T) {
+	prof, err := ByName("fasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := 4 * sim.Millisecond
+
+	// Direct drain of one generator instance.
+	var want []trace.Record
+	direct := prof.NewSource(false)
+	for {
+		rec, ok := direct.Next()
+		if !ok || rec.Time >= end {
+			break
+		}
+		want = append(want, rec)
+	}
+	if len(want) == 0 {
+		t.Fatal("generator produced no records")
+	}
+
+	// A second instance (same seed, deterministic) teed through Capture.
+	var buf bytes.Buffer
+	bw := trace.NewBinaryWriter(&buf)
+	capt := trace.NewCapture(prof.NewSource(false), bw)
+	for {
+		rec, ok := capt.Next()
+		if !ok || rec.Time >= end {
+			break
+		}
+	}
+	if err := capt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode the capture and compare record-for-record. The capture holds
+	// one extra record (the first at/after end, consumed to detect the
+	// window boundary) — the replayed prefix must match exactly.
+	src, err := trace.NewStreamSource(bytes.NewReader(buf.Bytes()), trace.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []trace.Record
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, rec)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < len(want) || len(got) > len(want)+1 {
+		t.Fatalf("capture replayed %d records, want %d (+1 boundary record at most)", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("record %d: replay %+v != direct %+v", i, got[i], w)
+		}
+	}
+}

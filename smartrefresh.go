@@ -22,6 +22,8 @@
 package smartrefresh
 
 import (
+	"io"
+
 	"smartrefresh/internal/config"
 	"smartrefresh/internal/core"
 	"smartrefresh/internal/dram"
@@ -185,6 +187,20 @@ type (
 	TraceRecord = trace.Record
 	// TraceSource streams access records in time order.
 	TraceSource = trace.Source
+	// TraceStream decodes a byte stream (binary or text, gzip or plain,
+	// auto-detected) into records with bounded memory.
+	TraceStream = trace.StreamSource
+	// TraceStreamOptions tunes a TraceStream's buffering and torn-tail
+	// tolerance.
+	TraceStreamOptions = trace.StreamOptions
+	// TraceCapture tees a source through a binary writer for bit-exact
+	// replay.
+	TraceCapture = trace.Capture
+	// TraceValidator enforces the Source ordering contract, failing at
+	// the offending record index.
+	TraceValidator = trace.Validator
+	// TraceBinaryWriter encodes records in the compact binary format.
+	TraceBinaryWriter = trace.BinaryWriter
 )
 
 // Profiles returns the 32 paper benchmarks in figure order.
@@ -202,6 +218,27 @@ func IdleProfile() Profile { return workload.Idle() }
 // NewGenerator builds a deterministic stream generator.
 func NewGenerator(spec StreamSpec, seed uint64) TraceSource {
 	return workload.NewGenerator(spec, seed)
+}
+
+// NewTraceStream opens a bounded-memory streaming decoder over r,
+// sniffing gzip compression and the trace format.
+func NewTraceStream(r io.Reader, opts TraceStreamOptions) (*TraceStream, error) {
+	return trace.NewStreamSource(r, opts)
+}
+
+// NewTraceCapture tees src through w, recording every yielded record.
+func NewTraceCapture(src TraceSource, w *TraceBinaryWriter) *TraceCapture {
+	return trace.NewCapture(src, w)
+}
+
+// NewTraceValidator wraps src with Source-contract enforcement.
+func NewTraceValidator(src TraceSource) *TraceValidator {
+	return trace.NewValidator(src)
+}
+
+// NewTraceBinaryWriter returns a binary trace encoder writing to w.
+func NewTraceBinaryWriter(w io.Writer) *TraceBinaryWriter {
+	return trace.NewBinaryWriter(w)
 }
 
 // Experiments (one harness per paper figure).

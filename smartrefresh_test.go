@@ -1,6 +1,7 @@
 package smartrefresh_test
 
 import (
+	"bytes"
 	"testing"
 
 	"smartrefresh"
@@ -106,6 +107,58 @@ func TestPublicGenerator(t *testing.T) {
 	}
 	if rec.Time < 0 {
 		t.Error("negative time")
+	}
+}
+
+// TestPublicTraceStreaming: capture a generator through the public
+// trace API and replay it bit-exactly via the streaming decoder.
+func TestPublicTraceStreaming(t *testing.T) {
+	prof, err := smartrefresh.ProfileByName("fasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := 2 * smartrefresh.Millisecond
+
+	var buf bytes.Buffer
+	bw := smartrefresh.NewTraceBinaryWriter(&buf)
+	capt := smartrefresh.NewTraceCapture(prof.NewSource(false), bw)
+	var want []smartrefresh.TraceRecord
+	for {
+		rec, ok := capt.Next()
+		if !ok || rec.Time >= end {
+			break
+		}
+		want = append(want, rec)
+	}
+	if err := capt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no records captured")
+	}
+
+	stream, err := smartrefresh.NewTraceStream(bytes.NewReader(buf.Bytes()), smartrefresh.TraceStreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := smartrefresh.NewTraceValidator(stream)
+	for i := 0; ; i++ {
+		rec, ok := v.Next()
+		if !ok {
+			break
+		}
+		if i < len(want) && rec != want[i] {
+			t.Fatalf("record %d: replay %+v != capture %+v", i, rec, want[i])
+		}
+	}
+	if err := v.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Records() < uint64(len(want)) {
+		t.Fatalf("replayed %d records, captured %d", v.Records(), len(want))
 	}
 }
 
