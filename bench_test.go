@@ -361,3 +361,36 @@ func BenchmarkWorkloadGenerator(b *testing.B) {
 		}
 	}
 }
+
+// Vault-parallel stacked run: one benchmark through the 8-vault HMC
+// preset, serially and with one shard worker per CPU. Results are
+// bit-identical between the two, so the pair isolates the sharding
+// machinery's overhead (serial) and scaling (parallel).
+func benchVaultShardedRun(b *testing.B, shards int) {
+	cfg := smartrefresh.HMC8Vault()
+	prof, err := smartrefresh.ProfileByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := smartrefresh.RunOptions{
+		Warmup:  8 * smartrefresh.Millisecond,
+		Measure: 32 * smartrefresh.Millisecond,
+		Shards:  shards,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res smartrefresh.RunResult
+	for i := 0; i < b.N; i++ {
+		res = smartrefresh.Run(cfg, prof, smartrefresh.PolicySmart, opts)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	if len(res.Vaults) != cfg.Geometry.VaultCount() {
+		b.Fatalf("run returned %d vaults, want %d", len(res.Vaults), cfg.Geometry.VaultCount())
+	}
+	b.ReportMetric(res.RefreshesPerSecond(), "refresh/s")
+}
+
+func BenchmarkVaultShardedRunSerial(b *testing.B)   { benchVaultShardedRun(b, 1) }
+func BenchmarkVaultShardedRunParallel(b *testing.B) { benchVaultShardedRun(b, 0) }

@@ -76,6 +76,8 @@ func run(ctx context.Context, args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines")
 	formatName := fs.String("format", "text", "figure output format: text, csv, markdown, json")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = serial)")
+	shards := fs.Int("shards", 0,
+		"intra-run vault workers for vaulted configurations (0 = one per CPU, 1 = serial); orthogonal to -jobs and bit-identical at any value")
 	selfRefreshUS := fs.Int("selfrefresh-us", 0,
 		"arm controller self-refresh after this demand-idle time in us (0 = off; must exceed the 2us page-close timeout)")
 	checkpointPath := fs.String("checkpoint", "",
@@ -135,6 +137,7 @@ func run(ctx context.Context, args []string) error {
 		Warmup:           sim.Time(*warmupMS) * sim.Millisecond,
 		Measure:          sim.Time(*measureMS) * sim.Millisecond,
 		SelfRefreshAfter: sim.Time(*selfRefreshUS) * sim.Microsecond,
+		Shards:           *shards,
 	}
 	if *benchmarks != "all" {
 		suite.Benchmarks = strings.Split(*benchmarks, ",")
@@ -299,5 +302,19 @@ func runAblations(ctx context.Context, eng *experiment.Engine, opts experiment.R
 			p.Interval, p.BaselineRefreshesPerSec, p.BaselineRefreshSharePct,
 			p.RefreshReductionPct, p.TotalSavingPct)
 	}
+	fmt.Println()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fmt.Println("== Vault-parallel scaling (HMC-style stack, benchmark: gcc) ==")
+	vopts := opts
+	vopts.Shards = 0 // the study sweeps its own shard counts
+	study, err := experiment.RunVaultScaling(ctx, experiment.HMC8V.DRAM(), gcc,
+		experiment.PolicySmart, vopts, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	study.Render(os.Stdout)
 	return ctx.Err()
 }

@@ -49,6 +49,8 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 	start := fs.Uint64("start", 1, "first seed of the block")
 	workers := fs.Int("workers", 0, "concurrent scenario checks (0: one per CPU)")
 	presets := fs.Bool("presets", true, "also check the vetted configuration presets")
+	vaultSeeds := fs.Int("vault-seeds", 4,
+		"vault-parallel scenarios to check (per-vault invariants plus sharded-determinism fingerprints; 0 disables)")
 	verbose := fs.Bool("v", false, "describe every scenario, not just the dirty ones")
 	fingerprint := fs.Bool("fingerprint", false,
 		"print the SHA-256 fingerprint of all reports (for comparing sweeps across runs)")
@@ -85,6 +87,21 @@ func run(ctx context.Context, args []string, w io.Writer) int {
 	if err := ctx.Err(); err != nil {
 		fmt.Fprintf(w, "simcheck: interrupted after %d of %d scenarios\n", len(reports), len(scenarios))
 		return 130
+	}
+
+	// The vault sweep runs each scenario serially here: its inner shard
+	// sweep already exercises the worker parallelism under test. A
+	// -policies filter naming no vault policy skips the sweep outright
+	// rather than padding the summary with empty reports.
+	if vaultPoliciesSelected(policies) {
+		for i := 0; i < *vaultSeeds; i++ {
+			rep, err := check.CheckVaultScenarioSelected(ctx, check.NewVaultScenario(*start+uint64(i)), nil, policies)
+			if err != nil {
+				fmt.Fprintf(w, "simcheck: interrupted during vault scenario %d of %d\n", i+1, *vaultSeeds)
+				return 130
+			}
+			reports = append(reports, rep)
+		}
 	}
 
 	var violations, dirty int
@@ -196,6 +213,22 @@ func parsePolicies(s string) ([]string, error) {
 		return nil, fmt.Errorf("-policies %q names no policies", s)
 	}
 	return policies, nil
+}
+
+// vaultPoliciesSelected reports whether a -policies filter (nil = all)
+// selects at least one policy the vault differential set instantiates.
+func vaultPoliciesSelected(policies []string) bool {
+	if len(policies) == 0 {
+		return true
+	}
+	for _, p := range policies {
+		for _, v := range check.VaultPolicyNames() {
+			if p == v {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // completed compacts the report slice to the contiguous completed

@@ -8,11 +8,26 @@ import (
 
 func TestCleanSweepExitsZero(t *testing.T) {
 	var out strings.Builder
-	if code := run(context.Background(), []string{"-seeds", "4", "-presets=false"}, &out); code != 0 {
+	if code := run(context.Background(), []string{"-seeds", "4", "-presets=false", "-vault-seeds", "0"}, &out); code != 0 {
 		t.Fatalf("exit %d on a clean sweep:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "4 scenarios, 0 dirty, 0 violations") {
 		t.Errorf("summary missing or wrong:\n%s", out.String())
+	}
+}
+
+// The vault sweep rides along by default and its scenarios count toward
+// the summary; -vault-seeds sizes it independently of -seeds.
+func TestVaultSweepIncluded(t *testing.T) {
+	var out strings.Builder
+	if code := run(context.Background(), []string{"-seeds", "0", "-presets=false", "-vault-seeds", "2", "-v"}, &out); code != 0 {
+		t.Fatalf("exit %d on a vault sweep:\n%s", code, out.String())
+	}
+	for _, want := range []string{"vault-seed-1", "vault-seed-2", "vault-smart:", "vault-cbr:",
+		"2 scenarios, 0 dirty, 0 violations"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("vault sweep output omits %q:\n%s", want, out.String())
+		}
 	}
 }
 

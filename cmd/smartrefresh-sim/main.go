@@ -13,6 +13,7 @@
 //
 //	smartrefresh-sim -config table1-2gb -policy smart -benchmark gcc
 //	smartrefresh-sim -config table2-3d-32ms -policy cbr -benchmark mummer
+//	smartrefresh-sim -config hmc-8vault -policy smart -shards 8
 //	smartrefresh-sim -config table1-2gb -policy smart -trace run.trc
 //	zcat day.trc.gz | smartrefresh-sim -policy smart -trace -
 //	smartrefresh-sim -serve localhost:8080
@@ -53,6 +54,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	warmupMS := fs.Int("warmup-ms", 64, "warmup excluded from measurement, ms")
 	measureMS := fs.Int("measure-ms", 256, "measured window, ms")
 	check := fs.Bool("check", false, "verify the retention invariant during the run")
+	shards := fs.Int("shards", 0, "vault workers for vaulted presets like hmc-8vault (0 = one per CPU, 1 = serial); results are bit-identical at any value")
 	selfRefreshUS := fs.Int("selfrefresh-us", 0, "enter module self-refresh after this demand-idle time (0 = off)")
 	list := fs.Bool("list", false, "list benchmarks and presets, then exit")
 	serveAddr := fs.String("serve", "", "run as a trace-replay service on this address (e.g. localhost:8080) instead of a batch job")
@@ -92,6 +94,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Stacked:          strings.HasPrefix(*cfgName, "table2"),
 		CheckRetention:   *check,
 		SelfRefreshAfter: sim.Time(*selfRefreshUS) * sim.Microsecond,
+		Shards:           *shards,
 	}
 	if *policyName == "smart-retention" {
 		return runRetentionAware(cfg, *benchmark, opts, &tf, stdout)
@@ -146,7 +149,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return res.Err
 	}
 	printResults(stdout, cfg, res.Results, opts.Measure, res.RetentionErr)
+	printVaults(stdout, res.Vaults)
 	return tf.Finish()
+}
+
+// printVaults appends the per-vault breakdown of a vaulted run (no-op
+// for monolithic presets, whose results carry no vault entries).
+func printVaults(w io.Writer, vaults []memctrl.Results) {
+	if len(vaults) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "vaults            %d\n", len(vaults))
+	for v, r := range vaults {
+		fmt.Fprintf(w, "  vault%02d         %8d accesses, %8d refresh ops, %10.3f mJ\n",
+			v, r.Module.Accesses, r.Module.RefreshOps, r.Energy.Total().Millijoules())
+	}
 }
 
 func presetNames() []string {

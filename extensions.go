@@ -1,10 +1,14 @@
 package smartrefresh
 
 import (
+	"context"
 	"io"
 
+	"smartrefresh/internal/config"
 	"smartrefresh/internal/core"
+	"smartrefresh/internal/dram"
 	"smartrefresh/internal/experiment"
+	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/report"
 	"smartrefresh/internal/thermal"
 	"smartrefresh/internal/workload"
@@ -22,8 +26,16 @@ import (
 const Stacked3DTemp = thermal.Stacked3DTemp
 
 // RefreshIntervalAt returns the refresh interval required at tempC given
-// the base interval, applying the vendor above-85-degC doubling rule.
+// the base interval, applying the vendor derating rule: halving per
+// 10 degC band above 85 degC. It panics beyond the 105 degC rated
+// envelope; use RefreshIntervalAtChecked to handle that case.
 func RefreshIntervalAt(base Duration, tempC float64) Duration {
+	return thermal.MustRefreshInterval(base, tempC)
+}
+
+// RefreshIntervalAtChecked is RefreshIntervalAt returning an error for
+// temperatures beyond the vendor-rated envelope instead of panicking.
+func RefreshIntervalAtChecked(base Duration, tempC float64) (Duration, error) {
 	return thermal.RefreshInterval(base, tempC)
 }
 
@@ -189,6 +201,53 @@ func FormatRAIDRStudy(points []RAIDRPoint) string {
 // DisableStudy runs the section 4.6 idle-OS experiment.
 func DisableStudy(eng *Engine, opts RunOptions) DisableStudyResult {
 	return experiment.DisableStudy(eng, opts)
+}
+
+// Vault-parallel stacked DRAM (HMC-style scale-out).
+
+type (
+	// VaultArray drives one independent memory controller per vault of a
+	// vaulted stacked-DRAM geometry, advancing them across a bounded
+	// worker pool. Results are bit-identical at every worker count.
+	VaultArray = memctrl.VaultArray
+	// VaultOptions extends ControllerOptions with the worker bound, the
+	// RNG fork seed and an optional physical-vault remap.
+	VaultOptions = memctrl.VaultOptions
+	// VaultPolicyFactory builds the refresh policy for one vault from its
+	// per-vault configuration slice.
+	VaultPolicyFactory = memctrl.PolicyFactory
+	// VaultRemap is a logical-to-physical vault permutation.
+	VaultRemap = dram.VaultRemap
+	// VaultScaling is one intra-run shard-count scaling study.
+	VaultScaling = experiment.VaultScaling
+	// VaultScalePoint is one shard count's wall time and result digest.
+	VaultScalePoint = experiment.VaultScalePoint
+)
+
+// HMC8V selects the 8-vault x 4-layer stacked configuration.
+const HMC8V = experiment.HMC8V
+
+// HMC8Vault returns the HMC-style 8-vault, 4-layer stacked-DRAM module
+// (32 ms refresh via the thermal derating model).
+func HMC8Vault() Config { return config.HMC8Vault() }
+
+// NewVaultArray builds one controller per vault of a vaulted geometry.
+func NewVaultArray(cfg Config, factory VaultPolicyFactory, opts VaultOptions) (*VaultArray, error) {
+	return memctrl.NewVaultArray(cfg, factory, opts)
+}
+
+// IdentityVaultRemap returns the identity vault permutation.
+func IdentityVaultRemap(n int) *VaultRemap { return dram.IdentityRemap(n) }
+
+// RotatedVaultRemap returns the permutation rotating logical vaults by
+// rot physical positions (a simple wear/thermal-balancing layout).
+func RotatedVaultRemap(n, rot int) *VaultRemap { return dram.RotatedRemap(n, rot) }
+
+// RunVaultScaling sweeps a vaulted run across intra-run shard counts,
+// timing each and digesting its results; the study reports whether every
+// shard count reproduced the serial schedule bit for bit.
+func RunVaultScaling(ctx context.Context, cfg Config, prof Profile, kind PolicyKind, opts RunOptions, shards []int) (VaultScaling, error) {
+	return experiment.RunVaultScaling(ctx, cfg, prof, kind, opts, shards)
 }
 
 // IdlePowerPoint is one row of the idle-power management comparison.

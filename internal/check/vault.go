@@ -1,0 +1,303 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/memctrl"
+	"smartrefresh/internal/sim"
+	"smartrefresh/internal/workload"
+)
+
+// vaultOutcome is everything one vault-parallel execution produces, in a
+// deterministic shape: fingerprinting it (or DeepEqual-ing two of them)
+// is exactly the "bit-identical at any shard count" contract.
+type vaultOutcome struct {
+	Agg memctrl.Results
+	Per []memctrl.Results
+	// Dropped is each vault's self-refresh-covered command count.
+	Dropped []uint64
+	// RetentionErr is the first vault's checker verdict ("" = clean).
+	RetentionErr string
+	// Panic is non-empty when the run panicked or was rejected.
+	Panic string
+}
+
+// vaultPolicyCase names a per-vault policy constructor and the retention
+// slack its deferral behaviour is allowed (the same bounds the monolithic
+// differential set uses — the per-vault geometry keeps Rows per bank, so
+// the formulas carry over unchanged).
+type vaultPolicyCase struct {
+	name    string
+	factory memctrl.PolicyFactory
+	slack   sim.Duration
+}
+
+// vaultPolicyCases is the vault-parallel differential set: the paper's
+// policy and its baseline, each instantiated per vault.
+func vaultPolicyCases(sc Scenario) []vaultPolicyCase {
+	interval := sc.Cfg.Timing.RefreshInterval
+	transition := sim.Duration(0)
+	if sc.SelfRefreshAfter > 0 {
+		transition = 2 * interval
+	}
+	serial := 2 * sim.Duration(sc.Cfg.Geometry.Rows) * sc.Cfg.Timing.TRefreshRow
+	smartSlack := baseSlack + transition + serial
+	if sc.Cfg.Smart.SelfDisable {
+		smartSlack += 2 * interval
+	}
+	return []vaultPolicyCase{
+		{name: "smart", slack: smartSlack,
+			factory: func(_ int, vcfg config.DRAM) (core.Policy, error) {
+				return core.NewSmart(vcfg.Geometry, interval, vcfg.Smart), nil
+			}},
+		{name: "cbr", slack: baseSlack + transition,
+			factory: func(_ int, vcfg config.DRAM) (core.Policy, error) {
+				return core.NewCBR(vcfg.Geometry, interval), nil
+			}},
+	}
+}
+
+// runVaultPolicy executes one policy over the scenario through a
+// memctrl.VaultArray at the given worker count, flushing the vaults at
+// quarter-interval epoch barriers. Panics become a recorded failure.
+func runVaultPolicy(ctx context.Context, sc Scenario, pc vaultPolicyCase, workers int) (out vaultOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.Panic = fmt.Sprint(r)
+		}
+	}()
+
+	opts := memctrl.VaultOptions{
+		Options: memctrl.Options{
+			CheckRetention:   true,
+			RetentionSlack:   pc.slack,
+			SelfRefreshAfter: sc.SelfRefreshAfter,
+			IdleClose:        sc.IdleClose,
+		},
+		Workers: workers,
+		Seed:    sc.Seed,
+	}
+	if ctx.Done() != nil {
+		opts.Interrupt = func() bool { return ctx.Err() != nil }
+	}
+	va, err := memctrl.NewVaultArray(sc.Cfg, pc.factory, opts)
+	if err != nil {
+		out.Panic = "construct: " + err.Error()
+		return out
+	}
+
+	src := workload.NewGenerator(sc.Spec, sc.Seed)
+	end := sim.Time(sc.Duration)
+	epoch := sc.Cfg.Timing.RefreshInterval / 4
+	next := sim.Time(epoch)
+	for n := 0; ; n++ {
+		if n&(cancelCheckStride-1) == 0 && ctx.Err() != nil {
+			return out
+		}
+		rec, ok := src.Next()
+		if !ok || rec.Time >= end {
+			break
+		}
+		for next <= rec.Time && next < end {
+			va.FlushTo(next)
+			next += sim.Time(epoch)
+		}
+		va.Enqueue(memctrl.Request{Time: rec.Time, Addr: rec.Addr, Write: rec.Write})
+	}
+	va.Finish(end)
+	if ctx.Err() != nil {
+		return out
+	}
+
+	out.Agg = va.Results(end)
+	out.Per = va.VaultResults(end)
+	out.Dropped = make([]uint64, va.Vaults())
+	for v := 0; v < va.Vaults(); v++ {
+		out.Dropped[v] = va.Vault(v).RefreshesDroppedSelfRefresh()
+	}
+	if rerr := va.RetentionErr(); rerr != nil {
+		out.RetentionErr = rerr.Error()
+	}
+	return out
+}
+
+// VaultPolicyNames lists the policies the vault-parallel differential
+// set instantiates per vault — a subset of PolicyNames, so the same
+// -policies filter vocabulary selects vault runs too.
+func VaultPolicyNames() []string { return []string{"smart", "cbr"} }
+
+// CheckVaultScenario evaluates the vault-parallel invariants for one
+// scenario: per-vault refresh accounting and retention, aggregate =
+// vault-order sum, per-vault and aggregate energy consistency, a
+// bit-identical serial rerun, and — the keystone — fingerprint equality
+// across every shard count in shards (nil or empty defaults to
+// {1, 2, vaults}). Presence-gated: a monolithic scenario returns an
+// empty clean report, so existing sweeps can call this unconditionally.
+func CheckVaultScenario(ctx context.Context, sc Scenario, shards []int) (Report, error) {
+	return CheckVaultScenarioSelected(ctx, sc, shards, nil)
+}
+
+// CheckVaultScenarioSelected is CheckVaultScenario with the policy
+// filter of CheckScenarioSelected: only the named policies run (nil or
+// empty = the full vault set); names outside VaultPolicyNames are
+// ignored rather than rejected, so one -policies list can drive the
+// monolithic and vault sweeps together.
+func CheckVaultScenarioSelected(ctx context.Context, sc Scenario, shards []int, policies []string) (Report, error) {
+	selected := map[string]bool{}
+	for _, n := range policies {
+		selected[n] = true
+	}
+	rep := Report{Scenario: sc}
+	if !sc.Cfg.Geometry.Vaulted() {
+		return rep, nil
+	}
+	if len(shards) == 0 {
+		shards = []int{1, 2, sc.Cfg.Geometry.VaultCount()}
+	}
+	add := func(policy, invariant, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{
+			Scenario:  sc.Name,
+			Policy:    policy,
+			Invariant: invariant,
+			Detail:    fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, pc := range vaultPolicyCases(sc) {
+		if len(selected) > 0 && !selected[pc.name] {
+			continue
+		}
+		name := "vault-" + pc.name
+		ref := runVaultPolicy(ctx, sc, pc, 1)
+		rerun := runVaultPolicy(ctx, sc, pc, 1)
+		if err := ctx.Err(); err != nil {
+			return Report{Scenario: sc}, err
+		}
+		if ref.Panic != "" {
+			add(name, "panic", "%s", ref.Panic)
+			continue
+		}
+		if !reflect.DeepEqual(ref, rerun) {
+			add(name, "determinism", "serial rerun differs")
+		}
+		if ref.RetentionErr != "" {
+			add(name, "retention", "%s", ref.RetentionErr)
+		}
+
+		// Every shard count must reproduce the serial schedule bit for
+		// bit; the fingerprint is over the full outcome, per-vault
+		// breakdown included.
+		refPrint := Fingerprint(ref)
+		for _, s := range shards {
+			if s == 1 {
+				continue
+			}
+			got := runVaultPolicy(ctx, sc, pc, s)
+			if err := ctx.Err(); err != nil {
+				return Report{Scenario: sc}, err
+			}
+			if got.Panic != "" {
+				add(name, "panic", "shards=%d: %s", s, got.Panic)
+				continue
+			}
+			if Fingerprint(got) != refPrint {
+				add(name, "shard-determinism", "shards=%d fingerprints differently from serial", s)
+			}
+		}
+
+		// Per-vault refresh accounting, and the aggregate as the exact
+		// vault-order fold.
+		var req, ops, dropped, requested uint64
+		for v, r := range ref.Per {
+			if r.Policy.RefreshesRequested != r.Module.RefreshOps+ref.Dropped[v] {
+				add(name, "refresh-accounting", "vault %d: requested %d != ops %d + dropped %d",
+					v, r.Policy.RefreshesRequested, r.Module.RefreshOps, ref.Dropped[v])
+			}
+			checkEnergy(fmt.Sprintf("%s/vault%02d", name, v), r.Energy, add)
+			req += r.Requests
+			ops += r.Module.RefreshOps
+			dropped += ref.Dropped[v]
+			requested += r.Policy.RefreshesRequested
+		}
+		if ref.Agg.Requests != req || ref.Agg.Module.RefreshOps != ops ||
+			ref.Agg.RefreshesDroppedSelfRefresh != dropped ||
+			ref.Agg.Policy.RefreshesRequested != requested {
+			add(name, "vault-aggregation", "aggregate %d/%d/%d/%d != vault sums %d/%d/%d/%d",
+				ref.Agg.Requests, ref.Agg.Module.RefreshOps,
+				ref.Agg.RefreshesDroppedSelfRefresh, ref.Agg.Policy.RefreshesRequested,
+				req, ops, dropped, requested)
+		}
+		checkEnergy(name, ref.Agg.Energy, add)
+
+		rep.Runs = append(rep.Runs, PolicyRun{
+			Policy:             name,
+			Res:                ref.Agg,
+			DroppedSelfRefresh: dropped,
+			RetentionErr:       ref.RetentionErr,
+		})
+	}
+	return rep, nil
+}
+
+// NewVaultScenario derives a random but always-valid vaulted scenario
+// from a seed: the HMC preset's shape with a randomized (small) row
+// count, stack height, vault count, refresh interval, Smart parameters
+// and workload. The same seed always yields the same scenario.
+func NewVaultScenario(seed uint64) Scenario {
+	rng := sim.NewRNG(seed)
+
+	cfg := config.HMC8Vault()
+	cfg.Name = fmt.Sprintf("vault-rand-%d", seed)
+	cfg.Geometry.Vaults = 2 << rng.Intn(3) // 2, 4 or 8 vaults of 8 channels
+	layers := 1 << rng.Intn(2)             // flat or 2-high
+	cfg.Geometry.Ranks = layers
+	cfg.Geometry.Layers = 0
+	if layers > 1 {
+		cfg.Geometry.Layers = layers
+	}
+	cfg.Geometry.Rows = 64 << rng.Intn(3) // 64..256
+	cfg.Power.Geometry = cfg.Geometry
+	cfg.Timing.RefreshInterval = sim.Duration(1+rng.Intn(4)) * sim.Millisecond
+	cfg.Power.Timing = cfg.Timing
+
+	cfg.Smart.CounterBits = 2 + rng.Intn(3)
+	cfg.Smart.Segments = 1 << rng.Intn(5) // divides every pow2 per-vault row count here
+	cfg.Smart.QueueDepth = cfg.Smart.Segments + rng.Intn(cfg.Smart.Segments+8)
+	cfg.Smart.SelfDisable = rng.Bool(0.5)
+
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("check: generated invalid vault config for seed %d: %v", seed, err))
+	}
+
+	sc := Scenario{
+		Name:     fmt.Sprintf("vault-seed-%d", seed),
+		Seed:     seed,
+		Cfg:      cfg,
+		Duration: sim.Duration(3+rng.Intn(3)) * cfg.Timing.RefreshInterval,
+	}
+	sc.Spec = workload.StreamSpec{StrideBytes: cfg.Geometry.RowBytes()}
+	if !rng.Bool(0.25) {
+		interval := cfg.Timing.RefreshInterval
+		footRows := 1 + rng.Intn(cfg.Geometry.TotalRows())
+		sc.Spec = workload.StreamSpec{
+			FootprintBytes: int64(footRows) * cfg.Geometry.RowBytes(),
+			StrideBytes:    cfg.Geometry.RowBytes(),
+			SweepPeriod:    interval/4 + sim.Duration(rng.Int63n(int64(interval))),
+			RowRepeats:     rng.Float64() * 2,
+			WriteFraction:  rng.Float64() * 0.5,
+			JitterFraction: rng.Float64() * 0.3,
+			Shuffle:        rng.Bool(0.5),
+		}
+		if err := sc.Spec.Validate(); err != nil {
+			panic(fmt.Sprintf("check: generated invalid vault workload for seed %d: %v", seed, err))
+		}
+	}
+	if rng.Bool(0.5) {
+		sc.SelfRefreshAfter = 10*sim.Microsecond + sim.Duration(rng.Int63n(int64(150*sim.Microsecond)))
+	}
+	return sc
+}

@@ -47,6 +47,14 @@ func (c DRAM) Validate() error {
 		return fmt.Errorf("config: %d rows not divisible by %d segments",
 			c.Geometry.TotalRows(), c.Smart.Segments)
 	}
+	if c.Geometry.Vaulted() {
+		// Each vault runs its own Smart policy over its share of the
+		// rows, so the per-vault row count must divide into segments too.
+		if pv := c.Geometry.PerVault(); pv.TotalRows()%c.Smart.Segments != 0 {
+			return fmt.Errorf("config: %d per-vault rows not divisible by %d segments",
+				pv.TotalRows(), c.Smart.Segments)
+		}
+	}
 	return nil
 }
 
@@ -157,8 +165,29 @@ func Table2_3D64(interval sim.Duration) DRAM {
 // die-stacking study [14], and the vendor rule [23] halves the interval
 // there — derived through the thermal model rather than hard-coded.
 func Table2_3D32() DRAM {
-	interval := thermal.RefreshInterval(64*sim.Millisecond, thermal.Stacked3DTemp)
+	interval := thermal.MustRefreshInterval(64*sim.Millisecond, thermal.Stacked3DTemp)
 	return Table2_3D64(interval)
+}
+
+// HMC8Vault returns an HMC-style 3D stack organised as 8 independent
+// vaults x 4 layers: each vault owns one channel whose 4 ranks are the
+// four stacked dies, following the sniper stacked-DRAM organisation
+// (vaults x banks x layers with a controller per vault). The refresh
+// interval is derived through the thermal stack model from the hottest
+// (processor-adjacent) layer — 90.27 degC puts the whole stack in the
+// 32 ms band, since one refresh clock serves all layers.
+func HMC8Vault() DRAM {
+	g := dram.Geometry{
+		Channels: 8, Ranks: 4, Banks: 2, Rows: 4096, Columns: 128,
+		DataWidthBits: 72, BurstLength: 4, DevicesPerRank: 2,
+		Vaults: 8, Layers: 4,
+	}
+	interval := thermal.MustRefreshInterval(64*sim.Millisecond, thermal.DefaultStack().LayerTemp(1))
+	base := Table2_3D64(interval)
+	base.Name = "hmc-8vault"
+	base.Geometry = g
+	base.Power.Geometry = g
+	return base
 }
 
 // EDRAM returns an embedded-DRAM macro configuration for the refresh
@@ -248,6 +277,7 @@ func Presets() map[string]DRAM {
 	out := map[string]DRAM{}
 	for _, c := range []DRAM{
 		Table1_2GB(), Table1_4GB(), Table2_3D64(64 * sim.Millisecond), Table2_3D32(),
+		HMC8Vault(),
 	} {
 		out[c.Name] = c
 	}

@@ -1,0 +1,47 @@
+package config
+
+import (
+	"testing"
+
+	"smartrefresh/internal/sim"
+)
+
+func TestHMC8VaultPreset(t *testing.T) {
+	c := HMC8Vault()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Layer 1 at 90.27 degC is in the (85, 95] band: 32 ms for the stack.
+	if c.Timing.RefreshInterval != 32*sim.Millisecond {
+		t.Errorf("interval = %v, want 32ms", c.Timing.RefreshInterval)
+	}
+	if !c.Geometry.Vaulted() || c.Geometry.VaultCount() != 8 || c.Geometry.LayerCount() != 4 {
+		t.Errorf("geometry stacking = %+v", c.Geometry)
+	}
+	if got := c.Geometry.TotalRows(); got != 262144 {
+		t.Errorf("TotalRows = %d, want 262144", got)
+	}
+	pv := c.Geometry.PerVault()
+	if pv.TotalRows()%c.Smart.Segments != 0 {
+		t.Errorf("per-vault rows %d not divisible by %d segments", pv.TotalRows(), c.Smart.Segments)
+	}
+	if _, ok := Presets()["hmc-8vault"]; !ok {
+		t.Error("hmc-8vault missing from Presets")
+	}
+}
+
+func TestValidateRejectsVaultSegmentMismatch(t *testing.T) {
+	// A segment count that divides the stack total but not the per-vault
+	// share: 262144 % 16 == 0 while 32768 % 16 == 0 — so force the gap by
+	// growing segments past the per-vault row count's 2-power overlap
+	// with the vault count. Per-vault rows = 512 here; 1024 segments
+	// divide the 4096-row total but not any single vault.
+	c := HMC8Vault()
+	c.Geometry.Rows = 64 // total = 8*4*2*64 = 4096; per-vault = 512
+	c.Smart.Segments = 1024
+	c.Smart.QueueDepth = 1024
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("per-vault segment mismatch accepted")
+	}
+}

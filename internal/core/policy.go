@@ -147,6 +147,38 @@ func (s PolicyStats) Sub(earlier PolicyStats) PolicyStats {
 	}
 }
 
+// Add returns the element-wise sum of two stat snapshots for aggregating
+// per-vault policies into stack-level totals. Counters sum; high-water
+// marks (MaxPendingPerTick, MaxRefreshDeficit) take the maximum, since
+// each vault's policy ticks independently.
+func (s PolicyStats) Add(o PolicyStats) PolicyStats {
+	out := PolicyStats{
+		RefreshesRequested: s.RefreshesRequested + o.RefreshesRequested,
+		CounterReads:       s.CounterReads + o.CounterReads,
+		CounterWrites:      s.CounterWrites + o.CounterWrites,
+		AccessResets:       s.AccessResets + o.AccessResets,
+		SkippedIndexings:   s.SkippedIndexings + o.SkippedIndexings,
+		MaxPendingPerTick:  s.MaxPendingPerTick,
+		DisableSwitches:    s.DisableSwitches + o.DisableSwitches,
+		EnableSwitches:     s.EnableSwitches + o.EnableSwitches,
+		TimeDisabled:       s.TimeDisabled + o.TimeDisabled,
+		RefreshesPostponed: s.RefreshesPostponed + o.RefreshesPostponed,
+		RefreshesPulledIn:  s.RefreshesPulledIn + o.RefreshesPulledIn,
+		RefreshesForced:    s.RefreshesForced + o.RefreshesForced,
+		MaxRefreshDeficit:  s.MaxRefreshDeficit,
+
+		BloomLookups:        s.BloomLookups + o.BloomLookups,
+		BloomFalsePositives: s.BloomFalsePositives + o.BloomFalsePositives,
+	}
+	if o.MaxPendingPerTick > out.MaxPendingPerTick {
+		out.MaxPendingPerTick = o.MaxPendingPerTick
+	}
+	if o.MaxRefreshDeficit > out.MaxRefreshDeficit {
+		out.MaxRefreshDeficit = o.MaxRefreshDeficit
+	}
+	return out
+}
+
 // BankAware is implemented by policies that schedule refreshes around
 // per-bank demand pressure (the DARP/SARP family). The memory controller
 // type-asserts for it and, when present, reports every demand access —

@@ -10,10 +10,16 @@
 // residency statistics the power model consumes.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Geometry describes the physical organisation of a DRAM module, following
-// Table 1 and Table 2 of the paper.
+// Table 1 and Table 2 of the paper — optionally organised as an HMC-style
+// 3D stack of independent vaults (the sniper stacked-DRAM controller
+// models the die as 32 vaults x banks x layers, each vault owning its own
+// controller).
 type Geometry struct {
 	Channels int // independent memory channels
 	Ranks    int // ranks per channel
@@ -32,10 +38,25 @@ type Geometry struct {
 	// for one row; it scales per-operation energy in the power model.
 	// A 72-bit rank of x4 devices has 18.
 	DevicesPerRank int
+
+	// Vaults partitions the module into that many independent HMC-style
+	// vaults, each owning Channels/Vaults channels with their own
+	// controller, refresh state and timing. Zero or one means a
+	// conventional (monolithic) module.
+	Vaults int
+
+	// Layers is the number of stacked DRAM dies; each layer contributes
+	// one rank to its vault's channel (so Ranks must equal Layers when
+	// both are set). Zero means unstacked. Layer 1 is bonded to the
+	// processor and runs hottest; the thermal model maps layer index to
+	// the required refresh interval.
+	Layers int
 }
 
-// Validate reports an error if any geometry field is non-positive or a row
-// or bank count is not a power of two (address mapping requires it).
+// Validate reports an error if any geometry field is non-positive, a row
+// or bank count is not a power of two (address mapping requires it), the
+// vault/layer dimensions are inconsistent, or a dimension product would
+// overflow the int arithmetic of TotalRows/RowID.Flat.
 func (g Geometry) Validate() error {
 	type field struct {
 		name string
@@ -59,7 +80,89 @@ func (g Geometry) Validate() error {
 			return fmt.Errorf("dram: geometry field %s = %d, must be a power of two", f.name, f.v)
 		}
 	}
+	// Stacking dimensions: optional, but power-of-two and consistent with
+	// the flat dimensions when present, so per-vault slices stay valid
+	// geometries and vault routing can use mask/shift address bits.
+	for _, f := range []field{{"Vaults", g.Vaults}, {"Layers", g.Layers}} {
+		if f.v < 0 {
+			return fmt.Errorf("dram: geometry field %s = %d, must be non-negative", f.name, f.v)
+		}
+		if f.v > 0 && f.v&(f.v-1) != 0 {
+			return fmt.Errorf("dram: geometry field %s = %d, must be a power of two", f.name, f.v)
+		}
+	}
+	if g.Vaults > 0 && g.Channels%g.Vaults != 0 {
+		return fmt.Errorf("dram: %d channels not divisible into %d vaults", g.Channels, g.Vaults)
+	}
+	if g.Layers > 1 && g.Ranks != g.Layers {
+		return fmt.Errorf("dram: %d ranks != %d layers (each stacked layer contributes one rank)", g.Ranks, g.Layers)
+	}
+	// Fleet-sized vault configs can push the dimension products past the
+	// int range; TotalRows()/RowID.Flat()/CapacityBytes() would then
+	// silently wrap. Reject such geometries here, where the failure is
+	// diagnosable, instead of corrupting every downstream index.
+	rows, ok := checkedProduct(g.Channels, g.Ranks, g.Banks, g.Rows)
+	if !ok || rows > math.MaxInt {
+		return fmt.Errorf("dram: %d channels x %d ranks x %d banks x %d rows overflows the row index space",
+			g.Channels, g.Ranks, g.Banks, g.Rows)
+	}
+	if _, ok := checkedMulInt64(rows, int64(g.Columns)*int64(g.DataWidthBits)); !ok {
+		return fmt.Errorf("dram: capacity of %d rows x %d columns x %d bits overflows int64",
+			rows, g.Columns, g.DataWidthBits)
+	}
 	return nil
+}
+
+// checkedMulInt64 multiplies two positive int64s, reporting overflow.
+func checkedMulInt64(a, b int64) (int64, bool) {
+	p := a * b
+	if a != 0 && (p/a != b || p < 0) {
+		return 0, false
+	}
+	return p, true
+}
+
+// checkedProduct multiplies positive ints in int64, reporting overflow.
+func checkedProduct(vs ...int) (int64, bool) {
+	p := int64(1)
+	for _, v := range vs {
+		var ok bool
+		if p, ok = checkedMulInt64(p, int64(v)); !ok {
+			return 0, false
+		}
+	}
+	return p, true
+}
+
+// Vaulted reports whether the geometry describes a multi-vault stack.
+func (g Geometry) Vaulted() bool { return g.Vaults > 1 }
+
+// VaultCount returns the number of independent vaults (1 for a
+// conventional module).
+func (g Geometry) VaultCount() int {
+	if g.Vaults > 1 {
+		return g.Vaults
+	}
+	return 1
+}
+
+// LayerCount returns the number of stacked dies (1 when unstacked).
+func (g Geometry) LayerCount() int {
+	if g.Layers > 1 {
+		return g.Layers
+	}
+	return 1
+}
+
+// PerVault returns the geometry one vault controller owns: its share of
+// the channels with the stacking dimensions cleared. PerVault of a
+// non-vaulted geometry is the geometry itself.
+func (g Geometry) PerVault() Geometry {
+	v := g
+	v.Channels = g.Channels / g.VaultCount()
+	v.Vaults = 0
+	v.Layers = 0
+	return v
 }
 
 // TotalRows returns the number of refreshable (channel, rank, bank, row)

@@ -181,3 +181,83 @@ func TestRowIDString(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+// hmcGeom8 is an 8-vault HMC-style stack: 8 channels (one per vault),
+// 4 layers contributing one rank each.
+func hmcGeom8() Geometry {
+	return Geometry{
+		Channels: 8, Ranks: 4, Banks: 2, Rows: 4096, Columns: 128,
+		DataWidthBits: 72, BurstLength: 4, DevicesPerRank: 2,
+		Vaults: 8, Layers: 4,
+	}
+}
+
+func TestGeometryValidateBounds(t *testing.T) {
+	base := table1Geom2GB()
+	cases := []struct {
+		name   string
+		mutate func(*Geometry)
+		ok     bool
+	}{
+		{"table1", func(*Geometry) {}, true},
+		{"vaulted-hmc", func(g *Geometry) { *g = hmcGeom8() }, true},
+		// Row-index space boundary: 2^62 total rows is representable,
+		// one more doubling (2^63) wraps int64 negative.
+		{"rows-2^62", func(g *Geometry) {
+			*g = Geometry{Channels: 1 << 21, Ranks: 1 << 21, Banks: 1 << 20, Rows: 1,
+				Columns: 1, DataWidthBits: 1, BurstLength: 1, DevicesPerRank: 1}
+		}, true},
+		{"rows-2^63-overflow", func(g *Geometry) {
+			*g = Geometry{Channels: 1 << 21, Ranks: 1 << 21, Banks: 1 << 21, Rows: 1,
+				Columns: 1, DataWidthBits: 1, BurstLength: 1, DevicesPerRank: 1}
+		}, false},
+		// Row product fits but rows x columns x width overflows int64.
+		{"capacity-overflow", func(g *Geometry) {
+			*g = Geometry{Channels: 1, Ranks: 1, Banks: 1, Rows: 1 << 40,
+				Columns: 1 << 20, DataWidthBits: 16, BurstLength: 1, DevicesPerRank: 1}
+		}, false},
+		{"vaults-not-pow2", func(g *Geometry) { g.Vaults = 3; g.Channels = 8 }, false},
+		{"vaults-exceed-channels", func(g *Geometry) { g.Vaults = 4 }, false}, // 1 channel / 4 vaults
+		{"vaults-negative", func(g *Geometry) { g.Vaults = -1 }, false},
+		{"layers-rank-mismatch", func(g *Geometry) { g.Layers = 4 }, false}, // 2 ranks != 4 layers
+		{"layers-negative", func(g *Geometry) { g.Layers = -2 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := base
+			tc.mutate(&g)
+			err := g.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want ok", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate() accepted %+v", g)
+			}
+		})
+	}
+}
+
+func TestGeometryPerVault(t *testing.T) {
+	g := hmcGeom8()
+	if !g.Vaulted() || g.VaultCount() != 8 || g.LayerCount() != 4 {
+		t.Fatalf("Vaulted/VaultCount/LayerCount = %v/%d/%d", g.Vaulted(), g.VaultCount(), g.LayerCount())
+	}
+	pv := g.PerVault()
+	if err := pv.Validate(); err != nil {
+		t.Fatalf("PerVault().Validate() = %v", err)
+	}
+	if pv.Channels != 1 || pv.Vaults != 0 || pv.Layers != 0 {
+		t.Fatalf("PerVault = %+v", pv)
+	}
+	if pv.TotalRows()*g.VaultCount() != g.TotalRows() {
+		t.Fatalf("per-vault rows %d x %d vaults != total %d", pv.TotalRows(), g.VaultCount(), g.TotalRows())
+	}
+
+	mono := table1Geom2GB()
+	if mono.Vaulted() || mono.VaultCount() != 1 || mono.LayerCount() != 1 {
+		t.Fatal("monolithic geometry misreports stacking")
+	}
+	if mono.PerVault() != mono {
+		t.Fatal("PerVault of monolithic geometry should be identity")
+	}
+}

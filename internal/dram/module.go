@@ -167,6 +167,34 @@ func (s ModuleStats) Sub(earlier ModuleStats) ModuleStats {
 	}
 }
 
+// Add returns the element-wise sum of two stat snapshots, used to
+// aggregate per-vault modules into stack-level totals.
+func (s ModuleStats) Add(o ModuleStats) ModuleStats {
+	return ModuleStats{
+		Accesses:           s.Accesses + o.Accesses,
+		Reads:              s.Reads + o.Reads,
+		Writes:             s.Writes + o.Writes,
+		RowHits:            s.RowHits + o.RowHits,
+		RowMisses:          s.RowMisses + o.RowMisses,
+		RowConflicts:       s.RowConflicts + o.RowConflicts,
+		Activates:          s.Activates + o.Activates,
+		Precharges:         s.Precharges + o.Precharges,
+		RefreshOps:         s.RefreshOps + o.RefreshOps,
+		RefreshCBROps:      s.RefreshCBROps + o.RefreshCBROps,
+		RefreshRASOnlyOps:  s.RefreshRASOnlyOps + o.RefreshRASOnlyOps,
+		RefreshPerBankOps:  s.RefreshPerBankOps + o.RefreshPerBankOps,
+		RefreshOverlapOps:  s.RefreshOverlapOps + o.RefreshOverlapOps,
+		RefreshAllBankOps:  s.RefreshAllBankOps + o.RefreshAllBankOps,
+		RefreshConflictOps: s.RefreshConflictOps + o.RefreshConflictOps,
+		ActiveTime:         s.ActiveTime + o.ActiveTime,
+		IdleTime:           s.IdleTime + o.IdleTime,
+		PowerDownTime:      s.PowerDownTime + o.PowerDownTime,
+		SelfRefreshTime:    s.SelfRefreshTime + o.SelfRefreshTime,
+		SelfRefreshEntries: s.SelfRefreshEntries + o.SelfRefreshEntries,
+		DemandStall:        s.DemandStall + o.DemandStall,
+	}
+}
+
 type bankState struct {
 	openRow       int // -1 when precharged
 	readyAt       sim.Time

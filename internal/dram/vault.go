@@ -1,0 +1,76 @@
+package dram
+
+import "fmt"
+
+// VaultRemap is a bidirectional logical→physical vault mapping. The sniper
+// stacked-DRAM controller keeps such a table so hot vaults can be migrated
+// away from the processor-adjacent die without changing the address
+// decomposition; we keep the same shape: routing first extracts a logical
+// vault index from the address bits, then the remap table picks the
+// physical vault whose controller services the access.
+type VaultRemap struct {
+	forward []int // logical -> physical
+	inverse []int // physical -> logical
+	swaps   int
+}
+
+// IdentityRemap returns the trivial mapping over n vaults.
+func IdentityRemap(n int) *VaultRemap {
+	if n <= 0 {
+		panic(fmt.Sprintf("dram: IdentityRemap(%d)", n))
+	}
+	r := &VaultRemap{forward: make([]int, n), inverse: make([]int, n)}
+	for i := range r.forward {
+		r.forward[i] = i
+		r.inverse[i] = i
+	}
+	return r
+}
+
+// RotatedRemap returns a mapping that shifts every logical vault by rot
+// physical positions (mod n). Rotation spreads consecutive logical vaults
+// across the stack, the simplest wear/thermal-leveling layout.
+func RotatedRemap(n, rot int) *VaultRemap {
+	r := IdentityRemap(n)
+	for i := 0; i < n; i++ {
+		p := (i + rot%n + n) % n
+		r.forward[i] = p
+		r.inverse[p] = i
+	}
+	return r
+}
+
+// Len returns the number of vaults in the mapping.
+func (r *VaultRemap) Len() int { return len(r.forward) }
+
+// Physical returns the physical vault servicing logical vault l.
+func (r *VaultRemap) Physical(l int) int { return r.forward[l] }
+
+// Logical returns the logical vault hosted on physical vault p.
+func (r *VaultRemap) Logical(p int) int { return r.inverse[p] }
+
+// Swap exchanges the physical vaults backing logical vaults a and b, the
+// primitive a remapping manager uses to migrate a hot vault.
+func (r *VaultRemap) Swap(a, b int) {
+	pa, pb := r.forward[a], r.forward[b]
+	r.forward[a], r.forward[b] = pb, pa
+	r.inverse[pa], r.inverse[pb] = b, a
+	r.swaps++
+}
+
+// Swaps returns how many migrations have been applied.
+func (r *VaultRemap) Swaps() int { return r.swaps }
+
+// Check verifies the two tables are mutual inverses; it is cheap and
+// intended for invariant sweeps.
+func (r *VaultRemap) Check() error {
+	if len(r.forward) != len(r.inverse) {
+		return fmt.Errorf("dram: remap tables disagree on length: %d vs %d", len(r.forward), len(r.inverse))
+	}
+	for l, p := range r.forward {
+		if p < 0 || p >= len(r.inverse) || r.inverse[p] != l {
+			return fmt.Errorf("dram: remap not a bijection at logical %d -> physical %d", l, p)
+		}
+	}
+	return nil
+}

@@ -38,7 +38,10 @@ func (s RunSpec) normalize() RunSpec {
 }
 
 // Key renders the canonical cache key. Two specs with equal keys receive
-// the same memoised result.
+// the same memoised result. Opts.Shards is deliberately absent: a
+// vaulted run's results are bit-identical at every shard count (see
+// memctrl.VaultArray), so two specs differing only in Shards describe
+// the same work and share one simulation.
 func (s RunSpec) Key() string {
 	n := s.normalize()
 	return fmt.Sprintf("%s/%s/%s/w%d/m%d/ret%v/sr%d",
@@ -154,8 +157,11 @@ type Engine struct {
 	// their rows.
 	Metrics *telemetry.Registry
 
-	mu    sync.Mutex
-	memo  map[RunSpec]*memoEntry
+	mu sync.Mutex
+	// memo is keyed by RunSpec.Key() rather than the spec value, so
+	// specs differing only in fields the key excludes (Opts.Shards)
+	// share one flight.
+	memo  map[string]*memoEntry
 	stats EngineStats
 
 	hookMu      sync.Mutex
@@ -233,8 +239,9 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (RunResult, error
 		return RunResult{}, err
 	}
 
+	key := spec.Key()
 	e.mu.Lock()
-	if ent, ok := e.memo[spec]; ok {
+	if ent, ok := e.memo[key]; ok {
 		e.stats.CacheHits++
 		e.mu.Unlock()
 		select {
@@ -246,19 +253,19 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (RunResult, error
 		return ent.res, ent.err
 	}
 	if e.memo == nil {
-		e.memo = map[RunSpec]*memoEntry{}
+		e.memo = map[string]*memoEntry{}
 	}
-	if res, ok := e.Checkpoint.lookup(spec.Key()); ok {
+	if res, ok := e.Checkpoint.lookup(key); ok {
 		// Completed in a previous (interrupted) sweep: pre-warm the memo
 		// and serve it as a cache hit.
-		e.memo[spec] = &memoEntry{done: closedDone, res: res}
+		e.memo[key] = &memoEntry{done: closedDone, res: res}
 		e.stats.CacheHits++
 		e.mu.Unlock()
 		e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, true, 0)
 		return res, nil
 	}
 	ent := &memoEntry{done: make(chan struct{})}
-	e.memo[spec] = ent
+	e.memo[key] = ent
 	e.stats.Started++
 	e.mu.Unlock()
 
@@ -284,16 +291,20 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (RunResult, error
 			close(ent.done)
 		}()
 		cfg := spec.Config.DRAM()
-		ent.res, ent.err = execute(jobCtx, runJob{
+		j := runJob{
 			cfg:       cfg,
 			benchmark: spec.Benchmark,
 			kind:      spec.Policy,
-			policy:    NewPolicy(cfg, spec.Policy),
 			source:    prof.NewSource(spec.Opts.Stacked),
 			opts:      spec.Opts, // normalize() already applied defaults
 			trace:     e.Trace,
 			metrics:   e.Metrics,
-		})
+		}
+		if !cfg.Geometry.Vaulted() {
+			// Vaulted runs construct per-vault policies in executeVaulted.
+			j.policy = NewPolicy(cfg, spec.Policy)
+		}
+		ent.res, ent.err = execute(jobCtx, j)
 	}()
 	wall := time.Since(start)
 
@@ -302,7 +313,7 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (RunResult, error
 		// later call (or a resumed engine) re-simulates, and do not count
 		// it as finished work.
 		e.mu.Lock()
-		delete(e.memo, spec)
+		delete(e.memo, key)
 		e.mu.Unlock()
 		return RunResult{}, ent.err
 	}
@@ -313,7 +324,7 @@ func (e *Engine) RunContext(ctx context.Context, spec RunSpec) (RunResult, error
 	e.finish(wall)
 	e.emit(e.OnJobDone, spec.Config.String(), spec.Benchmark, spec.Policy, false, wall)
 	if ent.err == nil {
-		if cerr := e.Checkpoint.record(spec.Key(), ent.res); cerr != nil {
+		if cerr := e.Checkpoint.record(key, ent.res); cerr != nil {
 			// The result is valid but not durably recorded; surface the
 			// I/O failure instead of promising a resumable sweep.
 			return ent.res, cerr
@@ -389,6 +400,18 @@ func (e *Engine) runJobOnce(ctx context.Context, job Job) RunResult {
 		}
 	}
 	opts := job.Opts.withDefaults(job.Cfg.RefreshInterval())
+	vaulted := job.Cfg.Geometry.Vaulted()
+	if vaulted && job.MakePolicy != nil {
+		// One policy instance cannot be distributed across vaults; the
+		// vaulted path constructs per-vault policies from the kind.
+		return RunResult{
+			Benchmark: job.Prof.Name,
+			Policy:    job.Policy,
+			Config:    job.Cfg.Name,
+			Err: fmt.Errorf("experiment: job %s/%s/%s: MakePolicy overrides are not supported on vaulted geometries",
+				job.Cfg.Name, job.Prof.Name, job.Policy),
+		}
+	}
 	policy := job.MakePolicy
 	if policy == nil {
 		policy = func() core.Policy { return NewPolicy(job.Cfg, job.Policy) }
@@ -428,18 +451,21 @@ func (e *Engine) runJobOnce(ctx context.Context, job Job) RunResult {
 				}
 			}
 		}()
-		var err error
-		res, err = execute(jobCtx, runJob{
+		j := runJob{
 			cfg:       job.Cfg,
 			benchmark: job.Prof.Name,
 			kind:      job.Policy,
-			policy:    policy(),
 			source:    source(),
 			opts:      opts,
 			retMap:    job.RetentionMap,
 			trace:     e.Trace,
 			metrics:   e.Metrics,
-		})
+		}
+		if !vaulted {
+			j.policy = policy()
+		}
+		var err error
+		res, err = execute(jobCtx, j)
 		if err != nil {
 			res = RunResult{
 				Benchmark: job.Prof.Name,

@@ -38,15 +38,19 @@ func (f Figure) Format(w io.Writer) {
 	fmt.Fprintf(w, "  %-16s %12.2f   (paper: %.2f)\n", "GMEAN", f.MeasuredGMean, f.PaperGMean)
 }
 
-// ConfigKind selects one of the four evaluated module configurations.
+// ConfigKind selects one of the evaluated module configurations: the
+// paper's four plus the HMC-style vaulted stack of the scaling study.
 type ConfigKind int
 
-// The four evaluated configurations.
+// The evaluated configurations.
 const (
 	Conv2GB ConfigKind = iota
 	Conv4GB
 	Stacked3D64
 	Stacked3D32
+	// HMC8V is the 8-vault x 4-layer stack; it runs through the
+	// vault-parallel path and honours RunOptions.Shards.
+	HMC8V
 )
 
 // String names the configuration.
@@ -60,6 +64,8 @@ func (c ConfigKind) String() string {
 		return "3D-64ms"
 	case Stacked3D32:
 		return "3D-32ms"
+	case HMC8V:
+		return "HMC-8V"
 	default:
 		return fmt.Sprintf("ConfigKind(%d)", int(c))
 	}
@@ -76,6 +82,8 @@ func (c ConfigKind) DRAM() config.DRAM {
 		return config.Table2_3D64(64 * sim.Millisecond)
 	case Stacked3D32:
 		return config.Table2_3D32()
+	case HMC8V:
+		return config.HMC8Vault()
 	default:
 		panic(fmt.Sprintf("experiment: unknown config kind %d", int(c)))
 	}

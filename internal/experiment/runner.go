@@ -11,6 +11,7 @@ import (
 	"smartrefresh/internal/cache"
 	"smartrefresh/internal/config"
 	"smartrefresh/internal/core"
+	"smartrefresh/internal/dram"
 	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/sim"
 	"smartrefresh/internal/telemetry"
@@ -95,6 +96,13 @@ type RunOptions struct {
 	// SelfRefreshAfter arms the controller's self-refresh machinery (0 =
 	// disabled); see memctrl.Options.
 	SelfRefreshAfter sim.Duration
+	// Shards bounds the worker goroutines advancing a vaulted
+	// configuration's vault controllers in parallel (0 = GOMAXPROCS,
+	// 1 = serial). Results are bit-identical at every value — see
+	// memctrl.VaultArray — so Shards is a throughput knob, not part of
+	// the run's identity, and the Engine's memo key excludes it.
+	// Ignored on monolithic geometries.
+	Shards int
 }
 
 func (o RunOptions) withDefaults(interval sim.Duration) RunOptions {
@@ -147,6 +155,10 @@ type RunResult struct {
 	Config    string
 	Window    sim.Duration
 	Results   memctrl.Results
+	// Vaults holds each vault's measured window (vault index order) when
+	// the configuration is vaulted; nil for monolithic modules. Results
+	// is then the stack-level fold of these entries.
+	Vaults []memctrl.Results
 	// RetentionErr is non-nil if the checker observed a violation.
 	RetentionErr error
 	// Err is non-nil when the job could not be simulated at all (the
@@ -176,14 +188,19 @@ func Run(cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOption
 // error, discarding the partial measurement.
 func RunContext(ctx context.Context, cfg config.DRAM, prof workload.Profile, kind PolicyKind, opts RunOptions) (RunResult, error) {
 	opts = opts.withDefaults(cfg.RefreshInterval())
-	return execute(ctx, runJob{
+	j := runJob{
 		cfg:       cfg,
 		benchmark: prof.Name,
 		kind:      kind,
-		policy:    NewPolicy(cfg, kind),
 		source:    prof.NewSource(opts.Stacked),
 		opts:      opts,
-	})
+	}
+	if !cfg.Geometry.Vaulted() {
+		// Vaulted runs build one policy per vault inside executeVaulted;
+		// the monolithic instance would be constructed only to be dropped.
+		j.policy = NewPolicy(cfg, kind)
+	}
+	return execute(ctx, j)
 }
 
 // runJob is one fully-resolved simulation: a configuration, a policy
@@ -218,30 +235,11 @@ type runJob struct {
 // of refresh ticks. A non-nil error means the partial result was
 // discarded; the returned RunResult is then zero.
 func execute(ctx context.Context, j runJob) (RunResult, error) {
+	if j.cfg.Geometry.Vaulted() {
+		return executeVaulted(ctx, j)
+	}
 	opts := j.opts
-	mcOpts := memctrl.Options{
-		CheckRetention:   opts.CheckRetention,
-		SelfRefreshAfter: opts.SelfRefreshAfter,
-	}
-	if opts.CheckRetention {
-		mcOpts.RetentionSlack = RetentionSlack(j.cfg, j.kind, opts)
-		mcOpts.RetentionMap = j.retMap
-	}
-	if j.trace != nil || j.metrics != nil {
-		mcOpts.Trace = j.trace
-		mcOpts.Metrics = j.metrics
-		mcOpts.MetricsPrefix = j.cfg.Name + "/" + j.benchmark + "/" + j.kind.String()
-	}
-	if ctx.Done() != nil {
-		// Only a cancellable context pays for the per-drain polls.
-		mcOpts.Interrupt = func() bool { return ctx.Err() != nil }
-	}
-	cancelled := func() error {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("experiment: run %s/%s/%s: %w", j.cfg.Name, j.benchmark, j.kind, err)
-		}
-		return nil
-	}
+	mcOpts, cancelled := jobSetup(ctx, j)
 	ctl := memctrl.MustNew(j.cfg, j.policy, mcOpts)
 
 	end := opts.Warmup + opts.Measure
@@ -321,6 +319,197 @@ func execute(ctx context.Context, j runJob) (RunResult, error) {
 		Window:       opts.Measure,
 		Results:      full,
 		RetentionErr: ctl.RetentionErr(),
+	}, nil
+}
+
+// jobSetup builds the controller options and the cancellation probe a
+// job shares between the monolithic and vaulted paths.
+func jobSetup(ctx context.Context, j runJob) (memctrl.Options, func() error) {
+	opts := j.opts
+	mcOpts := memctrl.Options{
+		CheckRetention:   opts.CheckRetention,
+		SelfRefreshAfter: opts.SelfRefreshAfter,
+	}
+	if opts.CheckRetention {
+		mcOpts.RetentionSlack = RetentionSlack(j.cfg, j.kind, opts)
+		mcOpts.RetentionMap = j.retMap
+	}
+	if j.trace != nil || j.metrics != nil {
+		mcOpts.Trace = j.trace
+		mcOpts.Metrics = j.metrics
+		mcOpts.MetricsPrefix = j.cfg.Name + "/" + j.benchmark + "/" + j.kind.String()
+	}
+	if ctx.Done() != nil {
+		// Only a cancellable context pays for the per-drain polls.
+		mcOpts.Interrupt = func() bool { return ctx.Err() != nil }
+	}
+	cancelled := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("experiment: run %s/%s/%s: %w", j.cfg.Name, j.benchmark, j.kind, err)
+		}
+		return nil
+	}
+	return mcOpts, cancelled
+}
+
+// executeVaulted is execute for vaulted (HMC-style) geometries: one
+// controller per vault behind a memctrl.VaultArray, advanced in parallel
+// by opts.Shards workers between quarter-interval epoch barriers. The
+// epoch schedule is a pure function of the record stream, and the vaults
+// share no mutable state, so the measured results are bit-identical at
+// every shard count — which is what lets the Engine memoise across
+// differing Shards values.
+//
+// The warmup snapshot is per vault (each vault's module and policy have
+// their own warm state); the measured window is derived per vault and
+// folded in vault index order into the stack-level Results, exactly as
+// VaultArray.Results folds whole-run summaries.
+func executeVaulted(ctx context.Context, j runJob) (RunResult, error) {
+	opts := j.opts
+	if j.retMap != nil {
+		// A per-row retention map is indexed against the monolithic
+		// geometry; reslicing it per vault is future work.
+		return RunResult{}, fmt.Errorf("experiment: run %s/%s/%s: per-row retention maps are not supported on vaulted geometries",
+			j.cfg.Name, j.benchmark, j.kind)
+	}
+	mcOpts, cancelled := jobSetup(ctx, j)
+
+	factory := func(_ int, vcfg config.DRAM) (core.Policy, error) {
+		return NewPolicy(vcfg, j.kind), nil
+	}
+	va, err := memctrl.NewVaultArray(j.cfg, factory, memctrl.VaultOptions{
+		Options: mcOpts,
+		Workers: opts.Shards,
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("experiment: run %s/%s/%s: %w", j.cfg.Name, j.benchmark, j.kind, err)
+	}
+
+	end := opts.Warmup + opts.Measure
+	epoch := j.cfg.RefreshInterval() / 4
+
+	var front *cache.DRAMCache
+	if opts.Stacked {
+		front = cache.NewDRAMCache(config.Table2_3DCache())
+	}
+
+	n := va.Vaults()
+	warmModule := make([]dram.ModuleStats, n)
+	warmPolicy := make([]core.PolicyStats, n)
+	warmDropped := make([]uint64, n)
+	warmed := false
+	takeWarmupSnapshot := func(t sim.Time) {
+		va.FlushTo(t)
+		for v := 0; v < n; v++ {
+			ctl := va.Vault(v)
+			ctl.Module().Finalize(t)
+			warmModule[v] = ctl.Module().Stats()
+			warmPolicy[v] = ctl.Policy().Stats()
+			warmDropped[v] = ctl.RefreshesDroppedSelfRefresh()
+		}
+		warmed = true
+	}
+	submit := func(t sim.Time, addr uint64, write bool) {
+		va.Enqueue(memctrl.Request{Time: t, Addr: addr, Write: write})
+	}
+
+	next := sim.Time(epoch)
+	for nrec := 0; ; nrec++ {
+		rec, ok := j.source.Next()
+		if !ok || rec.Time >= end {
+			break
+		}
+		if nrec&(cancelCheckStride-1) == 0 {
+			if err := cancelled(); err != nil {
+				return RunResult{}, err
+			}
+		}
+		for next <= rec.Time && next < end {
+			va.FlushTo(next)
+			next += sim.Time(epoch)
+		}
+		if !warmed && rec.Time >= opts.Warmup {
+			takeWarmupSnapshot(rec.Time)
+			for next <= rec.Time {
+				// The snapshot flushed to rec.Time; skip epoch boundaries
+				// the array has already passed.
+				next += sim.Time(epoch)
+			}
+		}
+		if opts.Stacked {
+			res := front.Access(rec.Time, rec.Addr, rec.Write)
+			for _, da := range res.DataAccesses {
+				submit(da.Time, da.Addr, da.Write)
+			}
+		} else {
+			submit(rec.Time, rec.Addr, rec.Write)
+		}
+	}
+	if !warmed {
+		// Idle stream: no record ever crossed the warmup boundary.
+		takeWarmupSnapshot(opts.Warmup)
+	}
+	va.Finish(end)
+	if err := cancelled(); err != nil {
+		return RunResult{}, err
+	}
+
+	// Per-op energies and background rates key off the per-vault
+	// geometry, exactly as inside the array.
+	pvCfg := j.cfg
+	pvCfg.Geometry = j.cfg.Geometry.PerVault()
+	pvCfg.Power.Geometry = pvCfg.Geometry
+
+	whole := va.Results(end)
+	agg := memctrl.Results{
+		Span: whole.Span,
+		// Latency is not warm-windowed on the monolithic path either; the
+		// stack-level quantiles come from the merged per-vault histogram.
+		AvgLatencyNS: whole.AvgLatencyNS,
+		P50LatencyNS: whole.P50LatencyNS,
+		P99LatencyNS: whole.P99LatencyNS,
+	}
+	perVault := make([]memctrl.Results, n)
+	for v := 0; v < n; v++ {
+		r := va.Vault(v).Results(end)
+		r.Module = r.Module.Sub(warmModule[v])
+		r.Policy = r.Policy.Sub(warmPolicy[v])
+		r.RefreshesDroppedSelfRefresh -= warmDropped[v]
+		r.Energy = pvCfg.Power.Evaluate(r.Module, r.Policy)
+		r.RefreshOps = r.Module.RefreshOps
+		r.RefreshCBR = r.Module.RefreshCBROps
+		r.RefreshRASOnly = r.Module.RefreshRASOnlyOps
+		r.RefreshPerBank = r.Module.RefreshPerBankOps
+		r.DemandStall = r.Module.DemandStall
+		if opts.Measure > 0 {
+			r.RefreshPerSecond = float64(r.Module.RefreshOps) / opts.Measure.Seconds()
+		}
+		perVault[v] = r
+
+		agg.Requests += r.Requests
+		agg.RowHits += r.RowHits
+		agg.RefreshesDroppedSelfRefresh += r.RefreshesDroppedSelfRefresh
+		agg.Module = agg.Module.Add(r.Module)
+		agg.Policy = agg.Policy.Add(r.Policy)
+		agg.Energy = agg.Energy.Add(r.Energy)
+	}
+	agg.RefreshOps = agg.Module.RefreshOps
+	agg.RefreshCBR = agg.Module.RefreshCBROps
+	agg.RefreshRASOnly = agg.Module.RefreshRASOnlyOps
+	agg.RefreshPerBank = agg.Module.RefreshPerBankOps
+	agg.DemandStall = agg.Module.DemandStall
+	if opts.Measure > 0 {
+		agg.RefreshPerSecond = float64(agg.Module.RefreshOps) / opts.Measure.Seconds()
+	}
+
+	return RunResult{
+		Benchmark:    j.benchmark,
+		Policy:       j.kind,
+		Config:       j.cfg.Name,
+		Window:       opts.Measure,
+		Results:      agg,
+		Vaults:       perVault,
+		RetentionErr: va.RetentionErr(),
 	}, nil
 }
 

@@ -71,6 +71,14 @@ type Options struct {
 // DefaultIdleClose is the default page-close timeout.
 const DefaultIdleClose = 2 * sim.Microsecond
 
+// Latency histogram shape: 2 ns buckets up to 2 us cover every DRAM
+// latency of interest; pathological stalls land in the overflow bucket.
+// Every controller uses the same shape so per-vault histograms merge.
+const (
+	latencyHistBuckets = 1024
+	latencyHistWidth   = 2
+)
+
 // Controller owns one DRAM module and one refresh policy and interleaves
 // demand traffic with refresh operations in simulated-time order.
 //
@@ -148,9 +156,7 @@ func New(cfg config.DRAM, policy core.Policy, opts Options) (*Controller, error)
 		module: dram.NewModule(cfg.Geometry, cfg.Timing),
 		policy: policy,
 		mapper: NewMapper(cfg.Geometry, opts.Interleave),
-		// 2 ns buckets up to 2 us cover every DRAM latency of interest;
-		// pathological stalls land in the overflow bucket.
-		latencyHist: stats.NewHistogram(1024, 2),
+		latencyHist: stats.NewHistogram(latencyHistBuckets, latencyHistWidth),
 		refreshes:   map[dram.RefreshKind]uint64{},
 		idleClose:   idleClose,
 		bankLastUse: make([]sim.Time, cfg.Geometry.TotalBanks()),

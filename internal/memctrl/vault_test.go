@@ -1,0 +1,178 @@
+package memctrl
+
+import (
+	"reflect"
+	"testing"
+
+	"smartrefresh/internal/config"
+	"smartrefresh/internal/core"
+	"smartrefresh/internal/dram"
+	"smartrefresh/internal/sim"
+)
+
+func smartFactory() PolicyFactory {
+	return func(_ int, cfg config.DRAM) (core.Policy, error) {
+		return core.NewSmart(cfg.Geometry, cfg.Timing.RefreshInterval, cfg.Smart), nil
+	}
+}
+
+func cbrFactory() PolicyFactory {
+	return func(_ int, cfg config.DRAM) (core.Policy, error) {
+		return core.NewCBR(cfg.Geometry, cfg.Timing.RefreshInterval), nil
+	}
+}
+
+// testVaultCfg is a scaled-down 8-vault stack: the HMC preset's shape
+// with few enough rows (refresh ticks are one per row per interval) that
+// the heavy determinism runs stay fast under -race.
+func testVaultCfg() config.DRAM {
+	cfg := config.HMC8Vault()
+	cfg.Geometry.Ranks = 2
+	cfg.Geometry.Layers = 2
+	cfg.Geometry.Rows = 256
+	cfg.Power.Geometry = cfg.Geometry
+	cfg.Timing = dram.DDR2_667(sim.Millisecond)
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// runVaulted drives the same synthetic workload through a fresh vault
+// array at the given worker count and returns the aggregate plus
+// per-vault results.
+func runVaulted(t *testing.T, factory PolicyFactory, workers int) (Results, []Results) {
+	t.Helper()
+	cfg := testVaultCfg()
+	va, err := NewVaultArray(cfg, factory, VaultOptions{Workers: workers, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := sim.Time(2 * cfg.Timing.RefreshInterval)
+	epoch := sim.Time(cfg.Timing.RefreshInterval / 4)
+	rng := sim.NewRNG(99)
+	var now sim.Time
+	next := epoch
+	for now < end {
+		va.Enqueue(Request{
+			Time:  now,
+			Addr:  rng.Uint64() % uint64(cfg.Geometry.CapacityBytes()),
+			Write: rng.Intn(4) == 0,
+		})
+		now += sim.Time(200 + rng.Intn(5000))
+		for now >= next && next < end {
+			va.FlushTo(next)
+			next += epoch
+		}
+	}
+	va.Finish(end)
+	return va.Results(end), va.VaultResults(end)
+}
+
+// The determinism keystone at the controller level: aggregate and
+// per-vault results are bit-identical at every worker count.
+func TestVaultArrayDeterministicAcrossWorkers(t *testing.T) {
+	refAgg, refPer := runVaulted(t, smartFactory(), 1)
+	for _, workers := range []int{2, 4, 8} {
+		agg, per := runVaulted(t, smartFactory(), workers)
+		if !reflect.DeepEqual(refAgg, agg) {
+			t.Fatalf("workers=%d: aggregate results differ\nref: %+v\ngot: %+v", workers, refAgg, agg)
+		}
+		if !reflect.DeepEqual(refPer, per) {
+			t.Fatalf("workers=%d: per-vault results differ", workers)
+		}
+	}
+}
+
+func TestVaultArrayAggregationConsistency(t *testing.T) {
+	agg, per := runVaulted(t, cbrFactory(), 2)
+	if len(per) != 8 {
+		t.Fatalf("expected 8 vault results, got %d", len(per))
+	}
+	var req, ops, dropped uint64
+	var reqsted uint64
+	for _, r := range per {
+		req += r.Requests
+		ops += r.RefreshOps
+		dropped += r.RefreshesDroppedSelfRefresh
+		reqsted += r.Policy.RefreshesRequested
+	}
+	if agg.Requests != req || agg.RefreshOps != ops || agg.RefreshesDroppedSelfRefresh != dropped {
+		t.Fatalf("aggregate %d/%d/%d != vault sums %d/%d/%d",
+			agg.Requests, agg.RefreshOps, agg.RefreshesDroppedSelfRefresh, req, ops, dropped)
+	}
+	// The refresh-accounting invariant must hold for the aggregate too.
+	if agg.Policy.RefreshesRequested != reqsted || reqsted != ops+dropped {
+		t.Fatalf("requested %d != ops %d + dropped %d", reqsted, ops, dropped)
+	}
+	if agg.Requests == 0 || agg.RefreshOps == 0 {
+		t.Fatal("workload produced no traffic or refreshes")
+	}
+	if agg.Energy.Total() <= 0 {
+		t.Fatalf("aggregate energy %v", agg.Energy.Total())
+	}
+}
+
+func TestVaultArrayRouting(t *testing.T) {
+	cfg := config.HMC8Vault()
+	va := MustNewVaultArray(cfg, cbrFactory(), VaultOptions{Workers: 1})
+	// Consecutive pages round-robin across vaults; the page offset
+	// survives, the vault bits are compacted out.
+	seen := map[int]bool{}
+	for page := uint64(0); page < 16; page++ {
+		addr := page*VaultPageBytes + 123
+		v, local := va.Route(addr)
+		seen[v] = true
+		if local%VaultPageBytes != 123 {
+			t.Fatalf("page offset not preserved: addr %#x -> local %#x", addr, local)
+		}
+		wantLocal := (page/8)*VaultPageBytes + 123
+		if local != wantLocal {
+			t.Fatalf("addr %#x -> local %#x, want %#x", addr, local, wantLocal)
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("16 consecutive pages hit %d vaults, want all 8", len(seen))
+	}
+}
+
+func TestVaultArrayRemapRouting(t *testing.T) {
+	cfg := config.HMC8Vault()
+	remap := dram.RotatedRemap(8, 3)
+	va := MustNewVaultArray(cfg, cbrFactory(), VaultOptions{Workers: 1, Remap: remap})
+	for page := uint64(0); page < 8; page++ {
+		v, _ := va.Route(page * VaultPageBytes)
+		if want := remap.Physical(int(page % 8)); v != want {
+			t.Fatalf("page %d -> vault %d, want %d", page, v, want)
+		}
+	}
+}
+
+func TestVaultArrayRejectsMonolithic(t *testing.T) {
+	if _, err := NewVaultArray(config.Table1_2GB(), cbrFactory(), VaultOptions{}); err == nil {
+		t.Fatal("monolithic geometry accepted")
+	}
+}
+
+func TestVaultArrayRNGForksIndependentOfWorkers(t *testing.T) {
+	cfg := config.HMC8Vault()
+	a := MustNewVaultArray(cfg, cbrFactory(), VaultOptions{Workers: 1, Seed: 42})
+	b := MustNewVaultArray(cfg, cbrFactory(), VaultOptions{Workers: 8, Seed: 42})
+	for v := 0; v < a.Vaults(); v++ {
+		if a.RNG(v).Uint64() != b.RNG(v).Uint64() {
+			t.Fatalf("vault %d RNG differs across worker counts", v)
+		}
+	}
+}
+
+func TestVaultArrayEnqueueTimeRegressionPanics(t *testing.T) {
+	va := MustNewVaultArray(config.HMC8Vault(), cbrFactory(), VaultOptions{Workers: 1})
+	va.Enqueue(Request{Time: 1000, Addr: 0})
+	va.FlushTo(1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time regression accepted")
+		}
+	}()
+	va.Enqueue(Request{Time: 999, Addr: 0})
+}

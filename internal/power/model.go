@@ -285,6 +285,20 @@ type Breakdown struct {
 	RefreshCounter Energy // Smart Refresh counter-array accesses
 }
 
+// Add returns the component-wise sum of two breakdowns, used to
+// aggregate per-vault energy into stack totals.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Background:     b.Background + o.Background,
+		ActPre:         b.ActPre + o.ActPre,
+		Read:           b.Read + o.Read,
+		Write:          b.Write + o.Write,
+		RefreshArray:   b.RefreshArray + o.RefreshArray,
+		RefreshBus:     b.RefreshBus + o.RefreshBus,
+		RefreshCounter: b.RefreshCounter + o.RefreshCounter,
+	}
+}
+
 // RefreshRelated returns the refresh-side energy the paper's Figures 7,
 // 10, 13 and 16 compare: the refresh operations themselves plus every
 // overhead Smart Refresh adds (RAS-only bus activity and the counter

@@ -79,6 +79,32 @@ func (s *Sample) Min() float64 { return s.min }
 // Max returns the largest observation, or 0 with no observations.
 func (s *Sample) Max() float64 { return s.max }
 
+// Merge folds another sample into s using the pairwise (Chan et al.)
+// combination of Welford states, so per-vault latency samples can be
+// aggregated without replaying observations. Merging in a fixed vault
+// order keeps the result bit-identical at any shard count.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	s.sum += o.sum
+	s.n = n
+}
+
 // StdDev returns the population standard deviation.
 func (s *Sample) StdDev() float64 {
 	if s.n == 0 {
@@ -163,6 +189,29 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.counts[i]++
+}
+
+// Merge adds another histogram's counts into h. Both histograms must
+// share bucket count and width; Merge panics otherwise — vault
+// controllers are constructed from one config, so differing shapes are a
+// programming error, not data.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if len(h.counts) != len(o.counts) || h.width != o.width {
+		panic(fmt.Sprintf("stats: merging histograms of different shape: %dx%v vs %dx%v",
+			len(h.counts), h.width, len(o.counts), o.width))
+	}
+	if h.total == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.underflow += o.underflow
+	h.overflow += o.overflow
+	h.total += o.total
 }
 
 // Total returns the number of observations.

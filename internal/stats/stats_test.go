@@ -305,3 +305,71 @@ func TestGeoMeanBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSampleMerge(t *testing.T) {
+	// Merging shards must agree with observing the concatenated stream.
+	var whole, a, b Sample
+	for i := 0; i < 100; i++ {
+		v := float64(i%13)*3.5 - 7
+		whole.Observe(v)
+		if i < 40 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged n/min/max = %d/%v/%v, want %d/%v/%v",
+			a.N(), a.Min(), a.Max(), whole.N(), whole.Min(), whole.Max())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 || math.Abs(a.StdDev()-whole.StdDev()) > 1e-9 {
+		t.Fatalf("merged mean/stddev = %v/%v, want %v/%v", a.Mean(), a.StdDev(), whole.Mean(), whole.StdDev())
+	}
+
+	var empty Sample
+	a.Merge(&empty) // no-op
+	if a.N() != whole.N() {
+		t.Fatal("merging empty sample changed N")
+	}
+	empty.Merge(&a) // adopt
+	if empty.N() != a.N() || empty.Mean() != a.Mean() {
+		t.Fatal("merge into empty sample did not adopt state")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	whole := NewHistogram(8, 1)
+	a := NewHistogram(8, 1)
+	b := NewHistogram(8, 1)
+	for i := 0; i < 60; i++ {
+		v := float64(i%12) - 2 // exercises underflow and overflow
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	if a.Total() != whole.Total() || a.Underflow() != whole.Underflow() || a.Overflow() != whole.Overflow() {
+		t.Fatalf("merged totals %d/%d/%d, want %d/%d/%d",
+			a.Total(), a.Underflow(), a.Overflow(), whole.Total(), whole.Underflow(), whole.Overflow())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%v: merged %v, whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	b := NewHistogram(4, 1)
+	b.Observe(1)
+	NewHistogram(8, 1).Merge(b)
+}

@@ -24,11 +24,27 @@ import (
 // only meaningful after the runs writing them have finished.
 //
 // Re-registering a name replaces the earlier source but keeps its
-// position, so memoised re-runs do not duplicate rows.
+// position, so memoised re-runs do not duplicate rows. That replacement
+// is exactly why concurrent registrants must not share names: with
+// hundreds of vault controllers registering gauges at once, identical
+// names race and last-writer-wins silently drops every other vault's
+// samples. Sub carves a prefixed namespace per registrant so collisions
+// cannot happen by construction, and Replaced counts any that do slip
+// through (a healthy parallel run keeps it at zero, except for
+// deliberate memoised re-runs).
 type Registry struct {
-	mu      sync.Mutex
-	order   []string
-	sources map[string]source
+	st     *regState
+	prefix string
+}
+
+// regState is the storage shared by a root registry and every Sub view
+// derived from it: all views write through one mutex into one table, so
+// a single snapshot covers the whole namespace tree.
+type regState struct {
+	mu       sync.Mutex
+	order    []string
+	sources  map[string]source
+	replaced uint64
 }
 
 type source struct {
@@ -51,21 +67,51 @@ type Metric struct {
 }
 
 // NewRegistry returns an enabled registry.
-func NewRegistry() *Registry { return &Registry{sources: map[string]source{}} }
+func NewRegistry() *Registry {
+	return &Registry{st: &regState{sources: map[string]source{}}}
+}
 
 // Enabled reports whether the registry records registrations.
 func (r *Registry) Enabled() bool { return r != nil }
+
+// Sub returns a view of the registry that prepends prefix + "/" to every
+// name registered through it. Views share the parent's storage (one
+// snapshot covers all of them); they exist so concurrent registrants —
+// one per vault controller, say — each write into a private namespace
+// instead of racing on shared names. Sub of a nil registry is nil.
+func (r *Registry) Sub(prefix string) *Registry {
+	if r == nil || prefix == "" {
+		return r
+	}
+	return &Registry{st: r.st, prefix: r.prefix + prefix + "/"}
+}
+
+// Replaced returns how many registrations overwrote an existing name.
+// Deliberate re-registration (memoised engine re-runs) counts here too,
+// so the useful signal is a delta over a window that should be
+// collision-free, e.g. one parallel vault construction.
+func (r *Registry) Replaced() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	return r.st.replaced
+}
 
 func (r *Registry) register(name, kind string, fn func() Metric) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	if _, seen := r.sources[name]; !seen {
-		r.order = append(r.order, name)
+	st := r.st
+	st.mu.Lock()
+	if _, seen := st.sources[name]; !seen {
+		st.order = append(st.order, name)
+	} else {
+		st.replaced++
 	}
-	r.sources[name] = source{kind: kind, fn: fn}
-	r.mu.Unlock()
+	st.sources[name] = source{kind: kind, fn: fn}
+	st.mu.Unlock()
 }
 
 // RegisterCounter publishes a counter under name.
@@ -73,8 +119,9 @@ func (r *Registry) RegisterCounter(name string, c *stats.Counter) {
 	if r == nil {
 		return
 	}
-	r.register(name, "counter", func() Metric {
-		return Metric{Name: name, Kind: "counter", Value: float64(c.Value())}
+	full := r.prefix + name
+	r.register(full, "counter", func() Metric {
+		return Metric{Name: full, Kind: "counter", Value: float64(c.Value())}
 	})
 }
 
@@ -83,8 +130,9 @@ func (r *Registry) RegisterGauge(name string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.register(name, "gauge", func() Metric {
-		return Metric{Name: name, Kind: "gauge", Value: fn()}
+	full := r.prefix + name
+	r.register(full, "gauge", func() Metric {
+		return Metric{Name: full, Kind: "gauge", Value: fn()}
 	})
 }
 
@@ -95,9 +143,10 @@ func (r *Registry) RegisterHistogram(name string, h *stats.Histogram) {
 	if r == nil {
 		return
 	}
-	r.register(name, "histogram", func() Metric {
+	full := r.prefix + name
+	r.register(full, "histogram", func() Metric {
 		return Metric{
-			Name: name, Kind: "histogram",
+			Name: full, Kind: "histogram",
 			Value: h.Quantile(0.5), Count: h.Total(),
 			P50: h.Quantile(0.5), P99: h.Quantile(0.99), Max: h.Max(),
 			Underflow: h.Underflow(), Overflow: h.Overflow(),
@@ -110,11 +159,12 @@ func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Metric, 0, len(r.order))
-	for _, name := range r.order {
-		out = append(out, r.sources[name].fn())
+	st := r.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Metric, 0, len(st.order))
+	for _, name := range st.order {
+		out = append(out, st.sources[name].fn())
 	}
 	return out
 }

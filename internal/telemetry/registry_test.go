@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"smartrefresh/internal/stats"
+)
+
+// Hundreds of vault controllers registering concurrently, each through
+// its own Sub namespace: every registration must survive (none dropped
+// by last-writer-wins replacement) and the run must be -race clean.
+// Before namespacing, identical names raced and all but one vault's
+// samples were silently discarded.
+func TestRegistrySubConcurrentRegistration(t *testing.T) {
+	const vaults = 256
+	root := NewRegistry()
+	counters := make([]stats.Counter, vaults)
+	var wg sync.WaitGroup
+	wg.Add(vaults)
+	for v := 0; v < vaults; v++ {
+		go func(v int) {
+			defer wg.Done()
+			sub := root.Sub(fmt.Sprintf("vault%03d", v))
+			counters[v].Add(uint64(v))
+			sub.RegisterCounter("refresh_ops", &counters[v])
+			sub.RegisterGauge("queue_depth", func() float64 { return float64(v) })
+		}(v)
+	}
+	wg.Wait()
+
+	if got := root.Replaced(); got != 0 {
+		t.Fatalf("Replaced() = %d, want 0 (a replacement means a vault's samples were dropped)", got)
+	}
+	snap := root.SortedSnapshot()
+	if len(snap) != 2*vaults {
+		t.Fatalf("snapshot has %d rows, want %d", len(snap), 2*vaults)
+	}
+	seen := map[string]float64{}
+	for _, m := range snap {
+		seen[m.Name] = m.Value
+	}
+	for v := 0; v < vaults; v++ {
+		name := fmt.Sprintf("vault%03d/refresh_ops", v)
+		if got, ok := seen[name]; !ok || got != float64(v) {
+			t.Fatalf("%s = %v (present=%v), want %d", name, got, ok, v)
+		}
+	}
+}
+
+func TestRegistrySubNesting(t *testing.T) {
+	root := NewRegistry()
+	var c stats.Counter
+	c.Add(7)
+	root.Sub("stack0").Sub("vault01").RegisterCounter("ops", &c)
+	snap := root.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "stack0/vault01/ops" || snap[0].Value != 7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestRegistrySubDisabled(t *testing.T) {
+	var r *Registry
+	sub := r.Sub("vault00")
+	if sub.Enabled() {
+		t.Fatal("Sub of nil registry is enabled")
+	}
+	sub.RegisterGauge("g", func() float64 { return 1 }) // must not panic
+	if sub.Snapshot() != nil || sub.Replaced() != 0 {
+		t.Fatal("disabled registry returned data")
+	}
+}
+
+func TestRegistryReplacedCountsOverwrites(t *testing.T) {
+	r := NewRegistry()
+	var c stats.Counter
+	r.RegisterCounter("dup", &c)
+	r.RegisterCounter("dup", &c)
+	r.RegisterCounter("dup", &c)
+	if got := r.Replaced(); got != 2 {
+		t.Fatalf("Replaced() = %d, want 2", got)
+	}
+	if len(r.Snapshot()) != 1 {
+		t.Fatal("replacement duplicated the row")
+	}
+}

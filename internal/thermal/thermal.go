@@ -24,20 +24,46 @@ const (
 	// Stacked3DTemp is the operating temperature of a 64 MB DRAM die
 	// stacked face-to-face on a processor, per the study the paper cites.
 	Stacked3DTemp = 90.27
+	// BandStepC is the width of one vendor derating band: retention
+	// halves (so the refresh rate doubles) per 10 degC above the
+	// extended-temperature threshold.
+	BandStepC = 10.0
+	// MaxRatedTemp is the hottest cell temperature the derating table is
+	// specified for; vendors publish no refresh rule beyond it, so
+	// operating there is a configuration error, not a deeper halving.
+	MaxRatedTemp = ExtendedTempThreshold + 2*BandStepC
 )
 
 // RefreshInterval returns the refresh interval required at the given
-// temperature, applying the vendor step rule: the base interval holds up
-// to the extended-temperature threshold and halves above it. This is the
-// rule the paper applies to derive the 3D cache's 32 ms interval.
-func RefreshInterval(base sim.Duration, tempC float64) sim.Duration {
+// temperature, applying the vendor derating rule: the base interval holds
+// up to the extended-temperature threshold (85 degC) and halves per
+// BandStepC band above it — (85, 95] needs base/2 (the rule the paper
+// applies to derive the 3D cache's 32 ms interval), (95, 105] needs
+// base/4. Above MaxRatedTemp there is no vendor-specified rate, so deep
+// stacks over hot cores get an error instead of a silently under-refreshed
+// base/2.
+func RefreshInterval(base sim.Duration, tempC float64) (sim.Duration, error) {
 	if base <= 0 {
 		panic(fmt.Sprintf("thermal: non-positive base interval %d", int64(base)))
 	}
-	if tempC > ExtendedTempThreshold {
-		return base / 2
+	if tempC > MaxRatedTemp {
+		return 0, fmt.Errorf("thermal: %.2f degC exceeds the %.0f degC rated envelope; no vendor refresh rule applies", tempC, MaxRatedTemp)
 	}
-	return base
+	if tempC <= ExtendedTempThreshold {
+		return base, nil
+	}
+	bands := int(math.Ceil((tempC - ExtendedTempThreshold) / BandStepC))
+	return base >> uint(bands), nil
+}
+
+// MustRefreshInterval is RefreshInterval for vetted operating points
+// (table presets, constants); it panics outside the rated envelope.
+func MustRefreshInterval(base sim.Duration, tempC float64) sim.Duration {
+	iv, err := RefreshInterval(base, tempC)
+	if err != nil {
+		panic(err)
+	}
+	return iv
 }
 
 // RetentionScale returns the multiplicative retention-time scale at
@@ -93,7 +119,8 @@ func (s StackTemperature) LayerTemp(layer int) float64 {
 }
 
 // RequiredInterval returns the refresh interval the n-th layer needs,
-// given the base (sub-85 degC) interval.
-func (s StackTemperature) RequiredInterval(base sim.Duration, layer int) sim.Duration {
+// given the base (sub-85 degC) interval. Layers past the rated envelope
+// propagate the RefreshInterval error.
+func (s StackTemperature) RequiredInterval(base sim.Duration, layer int) (sim.Duration, error) {
 	return RefreshInterval(base, s.LayerTemp(layer))
 }

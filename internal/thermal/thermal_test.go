@@ -8,20 +8,55 @@ import (
 	"smartrefresh/internal/sim"
 )
 
-func TestRefreshIntervalStepRule(t *testing.T) {
+func TestRefreshIntervalBands(t *testing.T) {
 	base := 64 * sim.Millisecond
-	// At or below 85 degC: base interval.
-	for _, temp := range []float64{25, 45, 85} {
-		if got := RefreshInterval(base, temp); got != base {
-			t.Errorf("at %v degC interval = %v, want %v", temp, got, base)
+	cases := []struct {
+		temp float64
+		want sim.Duration
+	}{
+		{25, base}, {45, base},
+		// Band edges are inclusive on the cool side: 85 degC still gets
+		// the base interval, 95 degC the single halving, 105 degC the
+		// double halving.
+		{85, base},
+		{85.01, 32 * sim.Millisecond},
+		{Stacked3DTemp, 32 * sim.Millisecond},
+		{95, 32 * sim.Millisecond},
+		{95.01, 16 * sim.Millisecond},
+		{105, 16 * sim.Millisecond},
+	}
+	for _, tc := range cases {
+		got, err := RefreshInterval(base, tc.temp)
+		if err != nil {
+			t.Errorf("at %v degC: %v", tc.temp, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("at %v degC interval = %v, want %v", tc.temp, got, tc.want)
 		}
 	}
-	// Above 85 degC: doubled rate, the paper's 3D case.
-	for _, temp := range []float64{85.01, Stacked3DTemp, 100} {
-		if got := RefreshInterval(base, temp); got != 32*sim.Millisecond {
-			t.Errorf("at %v degC interval = %v, want 32ms", temp, got)
+}
+
+func TestRefreshIntervalBeyondEnvelope(t *testing.T) {
+	// Past the rated envelope there is no vendor rule; the old behavior
+	// (a silent single halving) under-refreshed deep stacks.
+	for _, temp := range []float64{105.01, 120, 200} {
+		if iv, err := RefreshInterval(64*sim.Millisecond, temp); err == nil {
+			t.Errorf("at %v degC got %v, want error", temp, iv)
 		}
 	}
+}
+
+func TestMustRefreshInterval(t *testing.T) {
+	if got := MustRefreshInterval(64*sim.Millisecond, Stacked3DTemp); got != 32*sim.Millisecond {
+		t.Errorf("MustRefreshInterval = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-envelope temperature accepted")
+		}
+	}()
+	MustRefreshInterval(64*sim.Millisecond, 150)
 }
 
 func TestRefreshIntervalPanics(t *testing.T) {
@@ -30,7 +65,7 @@ func TestRefreshIntervalPanics(t *testing.T) {
 			t.Error("non-positive base accepted")
 		}
 	}()
-	RefreshInterval(0, 50)
+	RefreshInterval(0, 50) //nolint:errcheck // panics first
 }
 
 func TestStacked3DTempMatchesPaper(t *testing.T) {
@@ -42,7 +77,11 @@ func TestStacked3DTempMatchesPaper(t *testing.T) {
 		t.Errorf("layer 1 temp = %v, want 90.27", got)
 	}
 	// The 3D cache therefore needs the 32 ms interval.
-	if got := s.RequiredInterval(64*sim.Millisecond, 1); got != 32*sim.Millisecond {
+	got, err := s.RequiredInterval(64*sim.Millisecond, 1)
+	if err != nil {
+		t.Fatalf("RequiredInterval: %v", err)
+	}
+	if got != 32*sim.Millisecond {
 		t.Errorf("layer 1 interval = %v, want 32ms", got)
 	}
 }
@@ -97,7 +136,7 @@ func TestStepRuleConservative(t *testing.T) {
 	// refresh as the continuous model calibrated at 85 degC.
 	base := 64 * sim.Millisecond
 	for temp := 85.01; temp <= 95; temp += 0.5 {
-		step := RefreshInterval(base, temp)
+		step := MustRefreshInterval(base, temp)
 		cont := ContinuousRefreshInterval(base, 85, temp, 10)
 		if step > cont {
 			t.Errorf("at %v degC step rule %v weaker than continuous %v", temp, step, cont)
