@@ -104,3 +104,35 @@ func TestControllerSubmitDARPSteadyStateAllocFree(t *testing.T) {
 		t.Errorf("steady-state DARP Submit allocates %.1f allocs/op, want 0", avg)
 	}
 }
+
+// The power-state machine path — heap re-arms, power-down entries,
+// demand wakes — must be allocation-free once the timer heap is warm.
+func TestPowerStateCycleSteadyStateAllocFree(t *testing.T) {
+	cfg := smartrefresh.Table1_2GB()
+	ctl, err := smartrefresh.NewController(cfg, smartrefresh.NewSmartPolicy(cfg),
+		smartrefresh.ControllerOptions{
+			SelfRefreshAfter: 100 * smartrefresh.Microsecond,
+			PowerStates: smartrefresh.PowerStateConfig{
+				ActPdnAfter:     1 * smartrefresh.Microsecond,
+				PrePdnFastAfter: 5 * smartrefresh.Microsecond,
+				PrePdnSlowAfter: 50 * smartrefresh.Microsecond,
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now smartrefresh.Time
+	var i uint64
+	cycle := func() {
+		i++
+		ctl.Submit(smartrefresh.Request{Time: now, Addr: i * 16384})
+		now += 10 * smartrefresh.Microsecond
+		ctl.AdvanceTo(now)
+	}
+	for n := 0; n < 2048; n++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Errorf("steady-state power-state cycle allocates %.1f allocs/op, want 0", avg)
+	}
+}

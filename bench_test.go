@@ -394,3 +394,33 @@ func benchVaultShardedRun(b *testing.B, shards int) {
 
 func BenchmarkVaultShardedRunSerial(b *testing.B)   { benchVaultShardedRun(b, 1) }
 func BenchmarkVaultShardedRunParallel(b *testing.B) { benchVaultShardedRun(b, 0) }
+
+// BenchmarkPowerStateAdvance drives a full sleep/wake cycle of the
+// per-rank power-state ladder per iteration: a demand access wakes the
+// rank, then 10 us of idle descends through ACT-PDN, the idle-close
+// wake, and PRE-PDN fast before the next access.
+func BenchmarkPowerStateAdvance(b *testing.B) {
+	cfg := smartrefresh.Table1_2GB()
+	ctl, err := smartrefresh.NewController(cfg, smartrefresh.NewSmartPolicy(cfg),
+		smartrefresh.ControllerOptions{
+			SelfRefreshAfter: 100 * smartrefresh.Microsecond,
+			PowerStates: smartrefresh.PowerStateConfig{
+				ActPdnAfter:     1 * smartrefresh.Microsecond,
+				PrePdnFastAfter: 5 * smartrefresh.Microsecond,
+				PrePdnSlowAfter: 50 * smartrefresh.Microsecond,
+			},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now smartrefresh.Time
+	var i uint64
+	for n := 0; n < b.N; n++ {
+		i++
+		ctl.Submit(smartrefresh.Request{Time: now, Addr: i * 16384})
+		now += 10 * smartrefresh.Microsecond
+		ctl.AdvanceTo(now)
+	}
+}

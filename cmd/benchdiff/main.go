@@ -7,10 +7,10 @@
 //
 // Examples:
 //
-//	benchdiff run -out BENCH_pr9.json
+//	benchdiff run -out BENCH_pr10.json
 //	benchdiff run -out /tmp/bench.json -bench '^BenchmarkSuiteParallel$' -benchtime 1x
-//	benchdiff compare -baseline BENCH_pr9.json -current /tmp/bench.json
-//	benchdiff compare -baseline BENCH_pr9.json -current /tmp/bench.json -time-tol 300 -alloc-tol 15
+//	benchdiff compare -baseline BENCH_pr10.json -current /tmp/bench.json
+//	benchdiff compare -baseline BENCH_pr10.json -current /tmp/bench.json -time-tol 300 -alloc-tol 15
 //
 // The compare exit status is 1 on any regression beyond tolerance, 2 on
 // usage or I/O errors, 0 otherwise.
@@ -34,7 +34,7 @@ import (
 // DefaultBench selects the figure benchmarks plus the headline sweep —
 // the set the ISSUE's regression gate names — and the allocation-sensitive
 // micro-benchmarks of the policy/controller hot paths.
-const DefaultBench = `^BenchmarkSuiteParallel$|^BenchmarkFig[6-9]|^Benchmark(Smart|DARP|SARP|RAIDR)PolicyAdvance$|^BenchmarkControllerSubmit$|^BenchmarkVaultShardedRun`
+const DefaultBench = `^BenchmarkSuiteParallel$|^BenchmarkFig[6-9]|^Benchmark(Smart|DARP|SARP|RAIDR)PolicyAdvance$|^BenchmarkControllerSubmit$|^BenchmarkVaultShardedRun|^BenchmarkPowerStateAdvance$`
 
 // Run is one recorded benchmark execution: for every benchmark, every
 // metric the testing package printed (unit -> value).

@@ -73,6 +73,8 @@ func run(ctx context.Context, args []string) error {
 	warmupMS := fs.Int("warmup-ms", 64, "warmup excluded from measurement, ms")
 	measureMS := fs.Int("measure-ms", 256, "measured window, ms")
 	ablations := fs.Bool("ablations", false, "run the ablation studies (also run with -figures none)")
+	powerstateSmoke := fs.Bool("powerstate-smoke", false,
+		"run the power-state sweep at fixed short windows and print result fingerprints only (byte-stable; CI diffs this against results/powerstate_smoke.txt)")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines")
 	formatName := fs.String("format", "text", "figure output format: text, csv, markdown, json")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for simulations (1 = serial)")
@@ -128,6 +130,10 @@ func run(ctx context.Context, args []string) error {
 			}
 			fmt.Fprintf(os.Stderr, "job %s/%s/%s: %.2fs\n", ev.Config, ev.Benchmark, ev.Policy, ev.Wall.Seconds())
 		}
+	}
+
+	if *powerstateSmoke {
+		return powerStateSmoke(ctx, eng)
 	}
 
 	suite := experiment.NewSuite()
@@ -316,5 +322,41 @@ func runAblations(ctx context.Context, eng *experiment.Engine, opts experiment.R
 		return err
 	}
 	study.Render(os.Stdout)
+	fmt.Println()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fmt.Println("== Power-state ladder Pareto sweep (ACT-PDN / PRE-PDN / SR idle policies) ==")
+	sweep := experiment.RunPowerStateSweep(eng, nil, opts)
+	sweep.Render(os.Stdout)
+	vc, err := experiment.RunPowerStateVaultCheck(ctx, opts, []int{1, 8})
+	if err != nil {
+		return err
+	}
+	vc.Render(os.Stdout)
+	return ctx.Err()
+}
+
+// powerStateSmoke runs the power-state sweep at fixed short windows and
+// prints only result fingerprints — no floats, no wall times — so the
+// output is byte-stable; CI diffs it against results/powerstate_smoke.txt.
+func powerStateSmoke(ctx context.Context, eng *experiment.Engine) error {
+	opts := experiment.RunOptions{
+		Warmup:  1 * sim.Millisecond,
+		Measure: 8 * sim.Millisecond,
+	}
+	sweep := experiment.RunPowerStateSweep(eng, nil, opts)
+	sweep.RenderFingerprints(os.Stdout)
+	vc, err := experiment.RunPowerStateVaultCheck(ctx, opts, []int{1, 8})
+	if err != nil {
+		return err
+	}
+	for i, s := range vc.Shards {
+		fmt.Printf("%s/%s/shards=%d %s\n", vc.Config, vc.Policy, s, vc.Fingerprints[i])
+	}
+	if !vc.Deterministic {
+		return fmt.Errorf("power-state vault check: fingerprints differ across shard counts")
+	}
 	return ctx.Err()
 }

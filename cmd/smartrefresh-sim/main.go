@@ -56,6 +56,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	check := fs.Bool("check", false, "verify the retention invariant during the run")
 	shards := fs.Int("shards", 0, "vault workers for vaulted presets like hmc-8vault (0 = one per CPU, 1 = serial); results are bit-identical at any value")
 	selfRefreshUS := fs.Int("selfrefresh-us", 0, "enter module self-refresh after this demand-idle time (0 = off)")
+	actPdnUS := fs.Float64("actpdn-us", 0, "enter ACT-PDN (pages open, CKE low) after this rank-idle time in us (0 = off; must undercut the page-close timeout)")
+	preFastUS := fs.Float64("prepdn-fast-us", 0, "enter fast-exit PRE-PDN after this rank-idle time in us (0 = off; must exceed the page-close timeout)")
+	preSlowUS := fs.Float64("prepdn-slow-us", 0, "deepen to slow-exit (DLL-off) PRE-PDN after this rank-idle time in us (0 = off; requires -prepdn-fast-us)")
+	srSlowUS := fs.Float64("sr-slow-us", 0, "drop to slow-wake self-refresh this long after SR entry in us (0 = off; requires -selfrefresh-us)")
 	list := fs.Bool("list", false, "list benchmarks and presets, then exit")
 	serveAddr := fs.String("serve", "", "run as a trace-replay service on this address (e.g. localhost:8080) instead of a batch job")
 	capturePath := fs.String("capture", "", "record the replayed or generated access stream to this binary trace file for later bit-exact replay")
@@ -95,6 +99,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		CheckRetention:   *check,
 		SelfRefreshAfter: sim.Time(*selfRefreshUS) * sim.Microsecond,
 		Shards:           *shards,
+		PowerStates: memctrl.PowerStateConfig{
+			ActPdnAfter:     usToDuration(*actPdnUS),
+			PrePdnFastAfter: usToDuration(*preFastUS),
+			PrePdnSlowAfter: usToDuration(*preSlowUS),
+			SRSlowAfter:     usToDuration(*srSlowUS),
+		},
 	}
 	if *policyName == "smart-retention" {
 		return runRetentionAware(cfg, *benchmark, opts, &tf, stdout)
@@ -166,6 +176,12 @@ func printVaults(w io.Writer, vaults []memctrl.Results) {
 	}
 }
 
+// usToDuration converts a microsecond flag value (fractional values
+// allowed, e.g. -actpdn-us 0.5) to a simulation duration.
+func usToDuration(us float64) sim.Duration {
+	return sim.Duration(us * float64(sim.Microsecond))
+}
+
 func presetNames() []string {
 	var names []string
 	for n := range config.Presets() {
@@ -232,6 +248,7 @@ func runRetentionAware(cfg config.DRAM, benchmark string, opts experiment.RunOpt
 		RetentionSlack:   experiment.RetentionSlack(cfg, experiment.PolicySmart, opts),
 		RetentionMap:     rmap,
 		SelfRefreshAfter: opts.SelfRefreshAfter,
+		PowerStates:      opts.PowerStates,
 		Trace:            tf.Tracer(),
 		Metrics:          tf.Registry(),
 	})
@@ -271,6 +288,7 @@ func runRAIDR(cfg config.DRAM, benchmark string, opts experiment.RunOptions, tf 
 		RetentionSlack:   experiment.RetentionSlack(cfg, experiment.PolicyCBR, opts),
 		RetentionMap:     rmap,
 		SelfRefreshAfter: opts.SelfRefreshAfter,
+		PowerStates:      opts.PowerStates,
 		Trace:            tf.Tracer(),
 		Metrics:          tf.Registry(),
 	})
@@ -456,6 +474,12 @@ func printResults(w io.Writer, cfg config.DRAM, res memctrl.Results, window sim.
 		float64(res.Module.RefreshOps)/window.Seconds())
 	fmt.Fprintf(w, "baseline rate     %.0f/s\n", cfg.BaselineRefreshesPerSecond())
 	fmt.Fprintf(w, "demand stall      %v\n", res.Module.DemandStall)
+	if ms := res.Module; ms.PowerStatesTracked {
+		fmt.Fprintf(w, "power states      %d power-down entries, %d self-refresh entries\n",
+			ms.PowerDownEntries, ms.SelfRefreshEntries)
+		fmt.Fprintf(w, "  residency       act-pdn %v, pre-pdn fast %v, pre-pdn slow %v, sr %v (slow-wake %v)\n",
+			ms.ActPdnTime, ms.PrePdnFastTime, ms.PrePdnSlowTime, ms.SelfRefreshTime, ms.SelfRefreshSlowTime)
+	}
 	fmt.Fprintln(w, "energy breakdown:")
 	fmt.Fprintf(w, "  background      %10.3f mJ\n", e.Background.Millijoules())
 	fmt.Fprintf(w, "  activate/pre    %10.3f mJ\n", e.ActPre.Millijoules())

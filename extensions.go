@@ -203,6 +203,41 @@ func DisableStudy(eng *Engine, opts RunOptions) DisableStudyResult {
 	return experiment.DisableStudy(eng, opts)
 }
 
+// Per-rank power-state ladder (ACT-PDN / PRE-PDN / self-refresh).
+
+type (
+	// PowerStateConfig arms the explicit per-rank power-down ladder; the
+	// zero value keeps the historical two-state (awake / self-refresh)
+	// behaviour bit for bit.
+	PowerStateConfig = memctrl.PowerStateConfig
+	// PowerState identifies one rung of the ladder.
+	PowerState = memctrl.PowerState
+	// PowerStatePolicy is one labeled point of the sweep's threshold grid.
+	PowerStatePolicy = experiment.PowerStatePolicy
+	// PowerStateSweep is the energy-vs-added-latency Pareto study over
+	// the ladder's threshold grid.
+	PowerStateSweep = experiment.PowerStateSweep
+	// PowerStatePoint is one (policy, workload) cell of the sweep.
+	PowerStatePoint = experiment.PowerStatePoint
+	// PowerStateVaultCheck is the sweep's sharded-determinism leg.
+	PowerStateVaultCheck = experiment.PowerStateVaultCheck
+)
+
+// PowerStatePolicies returns the sweep's built-in threshold grid.
+func PowerStatePolicies() []PowerStatePolicy { return experiment.PowerStatePolicies() }
+
+// RunPowerStateSweep runs the threshold grid x workload study and marks
+// the Pareto frontier of the (energy, added latency) trade-off.
+func RunPowerStateSweep(eng *Engine, profiles []Profile, opts RunOptions) PowerStateSweep {
+	return experiment.RunPowerStateSweep(eng, profiles, opts)
+}
+
+// RunPowerStateVaultCheck runs the full ladder on the vaulted stack at
+// several shard counts and verifies the fingerprints agree bit for bit.
+func RunPowerStateVaultCheck(ctx context.Context, opts RunOptions, shards []int) (PowerStateVaultCheck, error) {
+	return experiment.RunPowerStateVaultCheck(ctx, opts, shards)
+}
+
 // Vault-parallel stacked DRAM (HMC-style scale-out).
 
 type (

@@ -67,6 +67,10 @@ type Scenario struct {
 	// IdleClose overrides the page-close timeout (zero = controller
 	// default, negative = never close).
 	IdleClose sim.Duration
+	// PowerStates arms the explicit per-rank power-down ladder (ACT-PDN /
+	// PRE-PDN fast / PRE-PDN slow / SR slow-wake) when any threshold is
+	// set; the zero value keeps the historical two-state behaviour.
+	PowerStates memctrl.PowerStateConfig
 }
 
 // Violation is one failed invariant.
@@ -218,6 +222,7 @@ func runPolicy(ctx context.Context, sc Scenario, pc policyCase, tr *telemetry.Tr
 		RetentionMap:     pc.retMap,
 		SelfRefreshAfter: sc.SelfRefreshAfter,
 		IdleClose:        sc.IdleClose,
+		PowerStates:      sc.PowerStates,
 		Trace:            tr,
 		Metrics:          reg,
 		MetricsPrefix:    sc.Name + "/" + pc.name,
@@ -423,6 +428,7 @@ func checkRun(sc Scenario, pc policyCase, run PolicyRun, add func(policy, invari
 
 	checkEnergy(pc.name, run.Res.Energy, add)
 	checkResidency(sc, pc.name, ms, add)
+	checkPowerStateEnergy(sc.Cfg, pc.name, run.Res, add)
 
 	// Latency summaries must be finite and ordered (the histogram
 	// quantile overflow clamp).
@@ -499,6 +505,87 @@ func checkResidency(sc Scenario, policy string, ms dram.ModuleStats, add func(po
 	if sc.SelfRefreshAfter <= 0 && (ms.SelfRefreshTime != 0 || ms.SelfRefreshEntries != 0) {
 		add(policy, "residency", "self-refresh engaged (%v, %d entries) without arming",
 			ms.SelfRefreshTime, ms.SelfRefreshEntries)
+	}
+	checkPowerStateResidency(policy, ms, sc.PowerStates.Enabled(), add)
+}
+
+// checkPowerStateResidency verifies the explicit power-state machine's
+// residency vector: every low-power residency is a subset of the time
+// class it is carved from (ACT-PDN of active time; PRE-PDN and
+// self-refresh, which are mutually exclusive, of idle time; slow-wake of
+// self-refresh time), and nothing accumulates unless the ladder was
+// armed. Shared by the monolithic and vault-parallel harnesses — the
+// subset relations are linear, so they hold for per-vault stats and for
+// their aggregate sums alike.
+func checkPowerStateResidency(policy string, ms dram.ModuleStats, armed bool, add func(policy, invariant, format string, args ...any)) {
+	if !ms.PowerStatesTracked {
+		if ms.ActPdnTime != 0 || ms.PrePdnFastTime != 0 || ms.PrePdnSlowTime != 0 ||
+			ms.SelfRefreshSlowTime != 0 || ms.PowerDownEntries != 0 {
+			add(policy, "residency", "power-down residency (%v/%v/%v/%v, %d entries) without tracking",
+				ms.ActPdnTime, ms.PrePdnFastTime, ms.PrePdnSlowTime, ms.SelfRefreshSlowTime, ms.PowerDownEntries)
+		}
+		return
+	}
+	if !armed {
+		add(policy, "residency", "power-state tracking on without an armed ladder")
+	}
+	if ms.ActPdnTime < 0 || ms.ActPdnTime > ms.ActiveTime {
+		add(policy, "residency", "ACT-PDN time %v outside active time %v", ms.ActPdnTime, ms.ActiveTime)
+	}
+	if ms.PrePdnFastTime < 0 || ms.PrePdnSlowTime < 0 {
+		add(policy, "residency", "negative PRE-PDN residency: fast %v slow %v", ms.PrePdnFastTime, ms.PrePdnSlowTime)
+	}
+	if ms.PrePdnFastTime+ms.PrePdnSlowTime+ms.SelfRefreshTime > ms.IdleTime {
+		add(policy, "residency", "PRE-PDN %v+%v + self-refresh %v exceed idle time %v",
+			ms.PrePdnFastTime, ms.PrePdnSlowTime, ms.SelfRefreshTime, ms.IdleTime)
+	}
+	if ms.SelfRefreshSlowTime < 0 || ms.SelfRefreshSlowTime > ms.SelfRefreshTime {
+		add(policy, "residency", "slow-wake time %v outside self-refresh time %v",
+			ms.SelfRefreshSlowTime, ms.SelfRefreshTime)
+	}
+}
+
+// checkPowerStateEnergy recomputes background energy from the residency
+// vector — each state's standby power (per-device current x VDD x
+// devices x scale) times its residency, awake shares as remainders —
+// and requires the model's Breakdown.Background to match. Only
+// meaningful when the explicit machine ran; the recompute is linear in
+// the residencies, so it applies to vault aggregates too.
+func checkPowerStateEnergy(cfg config.DRAM, policy string, res memctrl.Results, add func(policy, invariant, format string, args ...any)) {
+	ms := res.Module
+	if !ms.PowerStatesTracked {
+		return
+	}
+	m := cfg.Power
+	cur := m.Currents
+	scale := m.BackgroundScale
+	if scale == 0 {
+		scale = 1
+	}
+	pw := func(ma float64) float64 {
+		return ma * cur.VDD * float64(m.Geometry.DevicesPerRank) * scale
+	}
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	srMS := ms.SelfRefreshTime.Milliseconds()
+	idleMS := clamp(ms.IdleTime.Milliseconds() - srMS)
+	actPdnMS := ms.ActPdnTime.Milliseconds()
+	fastMS := ms.PrePdnFastTime.Milliseconds()
+	slowMS := ms.PrePdnSlowTime.Milliseconds()
+	srSlowMS := ms.SelfRefreshSlowTime.Milliseconds()
+	want := pw(cur.IDD3N)*clamp(ms.ActiveTime.Milliseconds()-actPdnMS) +
+		pw(cur.ActivePowerDown())*actPdnMS +
+		pw(cur.IDD2N)*clamp(idleMS-fastMS-slowMS) +
+		pw(cur.IDD2P)*fastMS +
+		pw(cur.PrechargePowerDownSlow())*slowMS +
+		pw(cur.IDD6)*clamp(srMS-srSlowMS) +
+		pw(cur.SelfRefreshSlow())*srSlowMS
+	if got := float64(res.Energy.Background); !closeEnough(want*1e6, got) {
+		add(policy, "residency-energy", "background %v pJ != residency recompute %v pJ", got, want*1e6)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"smartrefresh/internal/config"
+	"smartrefresh/internal/memctrl"
 	"smartrefresh/internal/sim"
 	"smartrefresh/internal/workload"
 )
@@ -73,7 +74,36 @@ func NewScenario(seed uint64) Scenario {
 		// so sparse workloads sleep and wake repeatedly.
 		sc.SelfRefreshAfter = 10*sim.Microsecond + sim.Duration(rng.Int63n(int64(150*sim.Microsecond)))
 	}
+	sc.PowerStates = randomPowerStates(rng, sc.SelfRefreshAfter)
 	return sc
+}
+
+// randomPowerStates draws a valid power-state ladder half the time. The
+// ranges respect the ordering constraints against the controller's
+// default 2 us page-close timeout and the minimum 10 us SelfRefreshAfter
+// the scenario generators draw: ACT-PDN below the page-close timeout,
+// PRE-PDN fast in (2, 8) us, PRE-PDN slow above fast but below 10 us,
+// slow-wake only when self-refresh is armed. Drawn after every other
+// scenario field, so pre-existing seeds keep their historical shapes.
+func randomPowerStates(rng *sim.RNG, selfRefreshAfter sim.Duration) memctrl.PowerStateConfig {
+	var ps memctrl.PowerStateConfig
+	if !rng.Bool(0.5) {
+		return ps
+	}
+	if rng.Bool(0.5) {
+		ps.ActPdnAfter = 200*sim.Nanosecond + sim.Duration(rng.Int63n(int64(1500*sim.Nanosecond)))
+	}
+	if rng.Bool(0.7) {
+		ps.PrePdnFastAfter = 3*sim.Microsecond + sim.Duration(rng.Int63n(int64(5*sim.Microsecond)))
+		if rng.Bool(0.5) {
+			room := 9*sim.Microsecond - ps.PrePdnFastAfter
+			ps.PrePdnSlowAfter = ps.PrePdnFastAfter + 100*sim.Nanosecond + sim.Duration(rng.Int63n(int64(room)))
+		}
+	}
+	if selfRefreshAfter > 0 && rng.Bool(0.5) {
+		ps.SRSlowAfter = 20*sim.Microsecond + sim.Duration(rng.Int63n(int64(100*sim.Microsecond)))
+	}
+	return ps
 }
 
 // PresetScenarios exercises every vetted configuration preset with a

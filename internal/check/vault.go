@@ -77,6 +77,7 @@ func runVaultPolicy(ctx context.Context, sc Scenario, pc vaultPolicyCase, worker
 			RetentionSlack:   pc.slack,
 			SelfRefreshAfter: sc.SelfRefreshAfter,
 			IdleClose:        sc.IdleClose,
+			PowerStates:      sc.PowerStates,
 		},
 		Workers: workers,
 		Seed:    sc.Seed,
@@ -217,7 +218,10 @@ func CheckVaultScenarioSelected(ctx context.Context, sc Scenario, shards []int, 
 				add(name, "refresh-accounting", "vault %d: requested %d != ops %d + dropped %d",
 					v, r.Policy.RefreshesRequested, r.Module.RefreshOps, ref.Dropped[v])
 			}
-			checkEnergy(fmt.Sprintf("%s/vault%02d", name, v), r.Energy, add)
+			vaultName := fmt.Sprintf("%s/vault%02d", name, v)
+			checkEnergy(vaultName, r.Energy, add)
+			checkPowerStateResidency(vaultName, r.Module, sc.PowerStates.Enabled(), add)
+			checkPowerStateEnergy(sc.Cfg, vaultName, r, add)
 			req += r.Requests
 			ops += r.Module.RefreshOps
 			dropped += ref.Dropped[v]
@@ -232,6 +236,10 @@ func CheckVaultScenarioSelected(ctx context.Context, sc Scenario, shards []int, 
 				req, ops, dropped, requested)
 		}
 		checkEnergy(name, ref.Agg.Energy, add)
+		// The residency subsets and the background-energy recompute are
+		// linear, so they must also hold for the vault-summed aggregate.
+		checkPowerStateResidency(name, ref.Agg.Module, sc.PowerStates.Enabled(), add)
+		checkPowerStateEnergy(sc.Cfg, name, ref.Agg, add)
 
 		rep.Runs = append(rep.Runs, PolicyRun{
 			Policy:             name,
@@ -299,5 +307,6 @@ func NewVaultScenario(seed uint64) Scenario {
 	if rng.Bool(0.5) {
 		sc.SelfRefreshAfter = 10*sim.Microsecond + sim.Duration(rng.Int63n(int64(150*sim.Microsecond)))
 	}
+	sc.PowerStates = randomPowerStates(rng, sc.SelfRefreshAfter)
 	return sc
 }

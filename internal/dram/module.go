@@ -133,6 +133,26 @@ type ModuleStats struct {
 	SelfRefreshTime    sim.Duration
 	SelfRefreshEntries uint64
 
+	// Explicit power-state residencies, tracked when the controller runs
+	// the per-rank power-state machine (EnablePowerStates). ActPdnTime is
+	// a subset of ActiveTime (pages stay open in ACT-PDN); the PRE-PDN
+	// residencies are subsets of IdleTime, disjoint from SelfRefreshTime;
+	// SelfRefreshSlowTime is the slow-wake (DLL-off) subset of
+	// SelfRefreshTime. PowerDownEntries counts CKE-low mode entries of
+	// every power-down kind (deepenings included).
+	ActPdnTime          sim.Duration
+	PrePdnFastTime      sim.Duration
+	PrePdnSlowTime      sim.Duration
+	SelfRefreshSlowTime sim.Duration
+	PowerDownEntries    uint64
+
+	// PowerStatesTracked marks the snapshot as produced under the
+	// explicit power-state machine: the power model then integrates
+	// background energy over the residency vector above instead of the
+	// two-state active/standby split. Sub preserves the flag and Add ORs
+	// it, so windowed and folded snapshots keep the evaluation mode.
+	PowerStatesTracked bool
+
 	// DemandStall accumulates time demand accesses spent waiting for a
 	// bank that was busy (including refresh occupancy); this drives the
 	// Figure 18 performance comparison.
@@ -164,6 +184,13 @@ func (s ModuleStats) Sub(earlier ModuleStats) ModuleStats {
 		SelfRefreshTime:    s.SelfRefreshTime - earlier.SelfRefreshTime,
 		SelfRefreshEntries: s.SelfRefreshEntries - earlier.SelfRefreshEntries,
 		DemandStall:        s.DemandStall - earlier.DemandStall,
+
+		ActPdnTime:          s.ActPdnTime - earlier.ActPdnTime,
+		PrePdnFastTime:      s.PrePdnFastTime - earlier.PrePdnFastTime,
+		PrePdnSlowTime:      s.PrePdnSlowTime - earlier.PrePdnSlowTime,
+		SelfRefreshSlowTime: s.SelfRefreshSlowTime - earlier.SelfRefreshSlowTime,
+		PowerDownEntries:    s.PowerDownEntries - earlier.PowerDownEntries,
+		PowerStatesTracked:  s.PowerStatesTracked,
 	}
 }
 
@@ -192,6 +219,13 @@ func (s ModuleStats) Add(o ModuleStats) ModuleStats {
 		SelfRefreshTime:    s.SelfRefreshTime + o.SelfRefreshTime,
 		SelfRefreshEntries: s.SelfRefreshEntries + o.SelfRefreshEntries,
 		DemandStall:        s.DemandStall + o.DemandStall,
+
+		ActPdnTime:          s.ActPdnTime + o.ActPdnTime,
+		PrePdnFastTime:      s.PrePdnFastTime + o.PrePdnFastTime,
+		PrePdnSlowTime:      s.PrePdnSlowTime + o.PrePdnSlowTime,
+		SelfRefreshSlowTime: s.SelfRefreshSlowTime + o.SelfRefreshSlowTime,
+		PowerDownEntries:    s.PowerDownEntries + o.PowerDownEntries,
+		PowerStatesTracked:  s.PowerStatesTracked || o.PowerStatesTracked,
 	}
 }
 
@@ -232,6 +266,22 @@ type rankState struct {
 	inSelfRefresh   bool
 	srSince         sim.Time
 	selfRefreshTime sim.Duration
+
+	// Slow-wake self-refresh: set when the controller deepens an
+	// in-progress self-refresh to the DLL-off mode; exit then pays the
+	// relock latency and the [srSlowSince, exit] span draws IDD6L.
+	srSlow      bool
+	srSlowSince sim.Time
+	srSlowTime  sim.Duration
+
+	// Explicit controller-driven power-down (EnterPowerDown): the rank
+	// has been in pdKind since pdSince; per-kind accumulators fold at
+	// exit and Finalize.
+	pdKind      PowerDownKind
+	pdSince     sim.Time
+	actPdnTime  sim.Duration
+	preFastTime sim.Duration
+	preSlowTime sim.Duration
 }
 
 // activateOKAt returns the earliest time a new activate may issue in the
@@ -882,6 +932,13 @@ func (m *Module) EnterSelfRefresh(t sim.Time, channel, rank int) sim.Time {
 	m.observe(t)
 	m.updateRank(ri, t)
 	m.accumulatePowerDown(r, t)
+	if r.pdKind != PDNone {
+		// Descending from an explicit power-down state straight into
+		// self-refresh: fold the power-down residency up to the entry
+		// point (the SRE transition itself is not charged a wake).
+		m.foldPowerDown(r, t)
+		r.pdKind = PDNone
+	}
 	r.inSelfRefresh = true
 	r.srSince = t
 	m.stats.SelfRefreshEntries++
@@ -905,7 +962,15 @@ func (m *Module) ExitSelfRefresh(t sim.Time, channel, rank int) sim.Time {
 	r.selfRefreshTime += t - r.srSince
 	r.inSelfRefresh = false
 	r.idleSince = t // power-down clock restarts now
-	ready := m.clk.Next(t + m.tim.TXSNR)
+	exitLat := m.tim.TXSNR
+	if r.srSlow {
+		// Slow-wake residency [srSlowSince, t] drew IDD6L; the exit pays
+		// the DLL relock instead of the plain TXSNR.
+		r.srSlowTime += t - r.srSlowSince
+		r.srSlow = false
+		exitLat = m.tim.SelfRefreshSlowExit()
+	}
+	ready := m.clk.Next(t + exitLat)
 	// Every bank of the rank honours the exit latency.
 	for b := 0; b < m.geom.Banks; b++ {
 		bi := (BankID{Channel: channel, Rank: rank, Bank: b}).Flat(m.geom)
@@ -927,6 +992,10 @@ func (m *Module) Finalize(end sim.Time) {
 	m.stats.IdleTime = 0
 	m.stats.PowerDownTime = 0
 	m.stats.SelfRefreshTime = 0
+	m.stats.ActPdnTime = 0
+	m.stats.PrePdnFastTime = 0
+	m.stats.PrePdnSlowTime = 0
+	m.stats.SelfRefreshSlowTime = 0
 	for i := range m.ranks {
 		m.updateRank(i, m.now)
 		m.accumulatePowerDown(&m.ranks[i], m.now)
@@ -935,6 +1004,16 @@ func (m *Module) Finalize(end sim.Time) {
 			// repeated Finalize does not double-count.
 			m.ranks[i].selfRefreshTime += m.now - m.ranks[i].srSince
 			m.ranks[i].srSince = m.now
+			if m.ranks[i].srSlow {
+				m.ranks[i].srSlowTime += m.now - m.ranks[i].srSlowSince
+				m.ranks[i].srSlowSince = m.now
+			}
+		}
+		if m.ranks[i].pdKind != PDNone {
+			// Extend the open power-down span; foldPowerDown advances
+			// pdSince, so a repeated Finalize extends, never
+			// double-counts.
+			m.foldPowerDown(&m.ranks[i], m.now)
 		}
 		// accumulatePowerDown is not idempotent across Finalize calls;
 		// advance idleSince so a repeated Finalize extends rather than
@@ -948,5 +1027,16 @@ func (m *Module) Finalize(end sim.Time) {
 		m.stats.IdleTime += m.ranks[i].idleTime
 		m.stats.PowerDownTime += m.ranks[i].powerDownTime
 		m.stats.SelfRefreshTime += m.ranks[i].selfRefreshTime
+		m.stats.ActPdnTime += m.ranks[i].actPdnTime
+		m.stats.PrePdnFastTime += m.ranks[i].preFastTime
+		m.stats.PrePdnSlowTime += m.ranks[i].preSlowTime
+		m.stats.SelfRefreshSlowTime += m.ranks[i].srSlowTime
 	}
 }
+
+// Horizon reports the latest time the module has observed — the end of
+// the residency accounting window Finalize folds. It can exceed the
+// nominal simulation end when an in-flight operation ran past it, and is
+// the exact wall the residency-conservation invariant checks against:
+// after Finalize, ActiveTime + IdleTime == ranks × Horizon.
+func (m *Module) Horizon() sim.Time { return m.now }

@@ -45,6 +45,20 @@ type Timing struct {
 	// (DDR2: tRFC + 10 ns).
 	TXSNR sim.Duration
 
+	// TXP is the fast power-down exit latency (ACT-PDN and fast-exit
+	// PRE-PDN: clock enable high to first command). Optional: zero
+	// derives two clocks, the DDR2 tXARD/tXP figure.
+	TXP sim.Duration
+
+	// TXPDLL is the slow power-down exit latency (PRE-PDN entered with
+	// the DLL frozen). Optional: zero derives eight clocks.
+	TXPDLL sim.Duration
+
+	// TXSRD is the slow-wake self-refresh exit latency (self-refresh
+	// with the DLL off; exit pays the DLL relock, tDLLK-class). Optional:
+	// zero derives 200 clocks. Must not undercut TXSNR when set.
+	TXSRD sim.Duration
+
 	// RefreshInterval is the retention deadline (tREFW): every row must be
 	// restored at least once per interval. 64 ms for conventional DRAM,
 	// 32 ms for the 3D DRAM above 85 degC.
@@ -88,7 +102,53 @@ func (t Timing) Validate() error {
 	if t.TRFCpb > 0 && t.TRFCab > 0 && t.TRFCab < t.TRFCpb {
 		return fmt.Errorf("dram: TRFCab (%v) < TRFCpb (%v)", t.TRFCab, t.TRFCpb)
 	}
+	// The power-down exit latencies are optional (zero = derived from
+	// TCK) but must be self-consistent when set: slow exits cannot be
+	// faster than fast ones, and the slow-wake self-refresh exit cannot
+	// undercut the plain one.
+	if t.TXP < 0 || t.TXPDLL < 0 || t.TXSRD < 0 {
+		return fmt.Errorf("dram: negative power-down exit latency (TXP %v, TXPDLL %v, TXSRD %v)",
+			t.TXP, t.TXPDLL, t.TXSRD)
+	}
+	if t.TXP > 0 && t.TXPDLL > 0 && t.TXPDLL < t.TXP {
+		return fmt.Errorf("dram: TXPDLL (%v) < TXP (%v)", t.TXPDLL, t.TXP)
+	}
+	if t.TXSRD > 0 && t.TXSRD < t.TXSNR {
+		return fmt.Errorf("dram: TXSRD (%v) < TXSNR (%v)", t.TXSRD, t.TXSNR)
+	}
 	return nil
+}
+
+// PowerDownExitFast returns the fast power-down exit latency: TXP when
+// set, else two command clocks (the DDR2 tXARD/tXP figure).
+func (t Timing) PowerDownExitFast() sim.Duration {
+	if t.TXP > 0 {
+		return t.TXP
+	}
+	return 2 * t.TCK
+}
+
+// PowerDownExitSlow returns the slow (DLL-frozen) power-down exit
+// latency: TXPDLL when set, else eight command clocks.
+func (t Timing) PowerDownExitSlow() sim.Duration {
+	if t.TXPDLL > 0 {
+		return t.TXPDLL
+	}
+	return 8 * t.TCK
+}
+
+// SelfRefreshSlowExit returns the slow-wake self-refresh exit latency:
+// TXSRD when set, else 200 command clocks (tDLLK-class), never below the
+// plain TXSNR exit.
+func (t Timing) SelfRefreshSlowExit() sim.Duration {
+	d := t.TXSRD
+	if d == 0 {
+		d = 200 * t.TCK
+	}
+	if d < t.TXSNR {
+		return t.TXSNR
+	}
+	return d
 }
 
 // PerBankRefreshDuration returns the bank occupancy of one REFpb command:
@@ -140,6 +200,9 @@ func DDR2_667(refreshInterval sim.Duration) Timing {
 		TRFCpb:          70 * sim.Nanosecond,  // one counter row per REFpb
 		TRFCab:          195 * sim.Nanosecond, // Micron 2Gb-class tRFC
 		TXSNR:           80 * sim.Nanosecond,
+		TXP:             6 * sim.Nanosecond,   // 2 tCK fast power-down exit
+		TXPDLL:          24 * sim.Nanosecond,  // 8 tCK slow power-down exit
+		TXSRD:           600 * sim.Nanosecond, // 200 tCK DLL relock
 		RefreshInterval: refreshInterval,
 	}
 }

@@ -44,10 +44,18 @@ func (s RunSpec) normalize() RunSpec {
 // the same work and share one simulation.
 func (s RunSpec) Key() string {
 	n := s.normalize()
-	return fmt.Sprintf("%s/%s/%s/w%d/m%d/ret%v/sr%d",
+	key := fmt.Sprintf("%s/%s/%s/w%d/m%d/ret%v/sr%d",
 		n.Config, n.Benchmark, n.Policy,
 		int64(n.Opts.Warmup), int64(n.Opts.Measure),
 		n.Opts.CheckRetention, int64(n.Opts.SelfRefreshAfter))
+	if ps := n.Opts.PowerStates; ps.Enabled() {
+		// Appended only when armed, so every pre-existing key — and any
+		// memo or artifact derived from one — is byte-identical.
+		key += fmt.Sprintf("/ps%d-%d-%d-%d",
+			int64(ps.ActPdnAfter), int64(ps.PrePdnFastAfter),
+			int64(ps.PrePdnSlowAfter), int64(ps.SRSlowAfter))
+	}
+	return key
 }
 
 // profile resolves the spec's benchmark name.

@@ -96,6 +96,11 @@ type RunOptions struct {
 	// SelfRefreshAfter arms the controller's self-refresh machinery (0 =
 	// disabled); see memctrl.Options.
 	SelfRefreshAfter sim.Duration
+	// PowerStates arms the intermediate power-down rungs of the per-rank
+	// power-state ladder (ACT-PDN, PRE-PDN fast/slow, slow-wake SR); the
+	// zero value keeps the historical two-state behaviour. See
+	// memctrl.PowerStateConfig.
+	PowerStates memctrl.PowerStateConfig
 	// Shards bounds the worker goroutines advancing a vaulted
 	// configuration's vault controllers in parallel (0 = GOMAXPROCS,
 	// 1 = serial). Results are bit-identical at every value — see
@@ -329,6 +334,7 @@ func jobSetup(ctx context.Context, j runJob) (memctrl.Options, func() error) {
 	mcOpts := memctrl.Options{
 		CheckRetention:   opts.CheckRetention,
 		SelfRefreshAfter: opts.SelfRefreshAfter,
+		PowerStates:      opts.PowerStates,
 	}
 	if opts.CheckRetention {
 		mcOpts.RetentionSlack = RetentionSlack(j.cfg, j.kind, opts)

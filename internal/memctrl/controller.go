@@ -47,6 +47,12 @@ type Options struct {
 	// page-close timeout. The policy's refreshes to that rank are covered
 	// internally while it sleeps.
 	SelfRefreshAfter sim.Duration
+	// PowerStates arms the intermediate power-down rungs of the per-rank
+	// power-state ladder (ACT-PDN, PRE-PDN fast/slow, slow-wake SR); see
+	// PowerStateConfig. The zero value leaves every rung unarmed and the
+	// controller on the historical two-state (idle-close → self-refresh)
+	// behaviour, bit for bit.
+	PowerStates PowerStateConfig
 	// Trace, when non-nil, records every DRAM command (demand ACT/PRE/
 	// READ/WRITE, both refresh kinds, idle page-closes and self-refresh
 	// residency spans) into the tracer under one scope per controller.
@@ -120,7 +126,10 @@ type Controller struct {
 	bankLastUse []sim.Time   // per flat bank: last demand activity
 	idleq       idleHeap     // lazy heap of candidate page-close deadlines
 
-	sr selfRefreshController
+	// ps is the per-rank power-state machine (self-refresh is its
+	// deepest rung); armed when SelfRefreshAfter or any PowerStates
+	// threshold is positive.
+	ps powerStates
 
 	// trace is the controller's telemetry scope (shared with the module);
 	// nil when tracing is disabled.
@@ -209,7 +218,19 @@ func New(cfg config.DRAM, policy core.Policy, opts Options) (*Controller, error)
 			return nil, fmt.Errorf("memctrl: SelfRefreshAfter %v must exceed the page-close timeout %v",
 				opts.SelfRefreshAfter, idleClose)
 		}
-		c.armSelfRefresh(opts.SelfRefreshAfter)
+	}
+	if err := opts.PowerStates.validate(idleClose, opts.SelfRefreshAfter); err != nil {
+		return nil, err
+	}
+	if opts.SelfRefreshAfter > 0 || opts.PowerStates.Enabled() {
+		c.armPowerStates(opts.SelfRefreshAfter, opts.PowerStates)
+		if opts.PowerStates.Enabled() {
+			// Switch the module to residency-vector accounting. Plain
+			// two-state configurations (only SelfRefreshAfter) skip this,
+			// which keeps their energy evaluation — and every golden
+			// figure and fingerprint — on the historical path.
+			c.module.EnablePowerStates()
+		}
 	}
 	policy.Reset(0)
 	return c, nil
@@ -393,6 +414,12 @@ func (c *Controller) closeIdleBank(deadline sim.Time, flat int) {
 		Rank:    rem / g.Banks,
 		Bank:    rem % g.Banks,
 	}
+	if c.ps.enabled && c.ps.ranks[c.rankOf(bank.Channel, bank.Rank)].state == PSActPdn {
+		// The rank dozed off in ACT-PDN with this page open; wake it
+		// (not demand — the idle clock keeps running) so the precharge
+		// can issue. It pays the tXP exit via the raised bank timings.
+		c.exitPowerDown(deadline, bank.Channel, bank.Rank, false)
+	}
 	if row, closed := c.module.PrechargeBank(deadline, bank); closed {
 		c.restore(deadline, row)
 		if c.trace != nil {
@@ -418,6 +445,15 @@ func (c *Controller) runRefreshTick(due sim.Time) {
 			// The rank refreshes itself while asleep.
 			c.refreshesDroppedSR++
 			continue
+		}
+		if c.ps.enabled {
+			// A refresh cannot issue with CKE low: wake a powered-down
+			// rank first. The wake is not demand (lastDemand stays), so
+			// the rank descends again as soon as the refresh drains.
+			switch c.ps.ranks[c.rankOf(cmd.Bank.Channel, cmd.Bank.Rank)].state {
+			case PSActPdn, PSPrePdnFast, PSPrePdnSlow:
+				c.exitPowerDown(due, cmd.Bank.Channel, cmd.Bank.Rank, false)
+			}
 		}
 		var res dram.RefreshResult
 		switch {
@@ -460,14 +496,20 @@ func (c *Controller) drainRefreshes(t sim.Time) {
 		}
 		rt, rok := c.policy.NextTick()
 		ct, flat, cok := c.nextIdleClose()
-		st, ri, sok := c.nextSelfRefreshEntry()
+		pt, ri, pok := c.nextPowerEvent()
+		// Same-timestamp tie-break, explicit and deterministic: a
+		// refresh tick wins over an idle page-close, which wins over a
+		// power-state transition. Within each source the order is also
+		// fixed — idle-closes by (deadline, flat bank index), power
+		// events by (deadline, rank index) — so simultaneous deadlines
+		// replay identically on every run.
 		switch {
-		case rok && rt <= t && (!cok || rt <= ct) && (!sok || rt <= st):
+		case rok && rt <= t && (!cok || rt <= ct) && (!pok || rt <= pt):
 			c.runRefreshTick(rt)
-		case cok && ct <= t && (!sok || ct <= st):
+		case cok && ct <= t && (!pok || ct <= pt):
 			c.closeIdleBank(ct, flat)
-		case sok && st <= t:
-			c.enterSelfRefresh(st, ri)
+		case pok && pt <= t:
+			c.runPowerEvent(pt, ri)
 		default:
 			return
 		}
@@ -493,8 +535,8 @@ func (c *Controller) Submit(req Request) dram.AccessResult {
 	}
 	c.drainRefreshes(req.Time)
 
-	if c.selfRefreshActive(addr.Channel, addr.Rank) {
-		c.exitSelfRefresh(req.Time, addr.Channel, addr.Rank)
+	if c.ps.armed {
+		c.wakeRank(req.Time, addr.Channel, addr.Rank)
 	}
 	res := c.module.Access(req.Time, addr, req.Write)
 	flat := addr.BankOf().Flat(c.cfg.Geometry)
@@ -559,7 +601,7 @@ func (c *Controller) AdvanceTo(t sim.Time) {
 // the retention checker (if any) performs its end-of-run scan.
 func (c *Controller) Finish(end sim.Time) {
 	c.AdvanceTo(end)
-	c.finishSelfRefresh(end)
+	c.finishPowerStates(end)
 	c.module.Finalize(end)
 	if c.checker != nil {
 		c.checker.CheckEnd(end)

@@ -11,6 +11,9 @@ import (
 // machinery has long since done so), hands retention to the module's
 // internal self-refresh engine (IDD6 instead of controller-issued
 // refreshes), and wakes the rank on the next demand access, paying tXSNR.
+// Self-refresh is the deepest rung of the power-state ladder in
+// powerstate.go; this file keeps the SR-specific mechanics (checker
+// coverage, residency spans, entry deferral).
 //
 // While a rank is in self-refresh the controller drops the policy's
 // refresh commands for it — they are covered internally. As with the
@@ -20,93 +23,60 @@ import (
 // one; the retention checker treats self-refresh residency accordingly by
 // recording a whole-rank restore at entry and exit.
 
-// srState tracks controller-side self-refresh state per rank.
-type srState struct {
-	lastDemand sim.Time
-	enteredAt  sim.Time // valid while active; drives checker coverage
-	active     bool
-}
-
-// selfRefreshController is embedded in Controller when armed.
-type selfRefreshController struct {
-	after sim.Duration // idle threshold; <=0 disables
-	ranks []srState
-}
-
-func (c *Controller) armSelfRefresh(after sim.Duration) {
-	c.sr = selfRefreshController{
-		after: after,
-		ranks: make([]srState, c.cfg.Geometry.Channels*c.cfg.Geometry.Ranks),
-	}
-}
-
 func (c *Controller) rankOf(channel, rank int) int {
 	return channel*c.cfg.Geometry.Ranks + rank
 }
 
-// nextSelfRefreshEntry returns the earliest pending entry deadline.
-func (c *Controller) nextSelfRefreshEntry() (sim.Time, int, bool) {
-	if c.sr.after <= 0 {
-		return 0, 0, false
-	}
-	best := -1
-	var at sim.Time
-	for ri := range c.sr.ranks {
-		st := &c.sr.ranks[ri]
-		if st.active {
-			continue
-		}
-		deadline := st.lastDemand + c.sr.after
-		if best == -1 || deadline < at {
-			best, at = ri, deadline
-		}
-	}
-	if best == -1 {
-		return 0, 0, false
-	}
-	return at, best, true
-}
-
 // enterSelfRefresh puts rank ri into self-refresh at time t, provided its
 // banks are closed (otherwise the entry is deferred: the idle-close
-// machinery will close them and the deadline fires again).
+// machinery will close them and the deadline fires again). A rank asleep
+// in a PRE-PDN state descends without an intermediate wake — the module
+// folds the power-down residency at the handoff.
 func (c *Controller) enterSelfRefresh(t sim.Time, ri int) {
 	g := c.cfg.Geometry
 	channel, rank := ri/g.Ranks, ri%g.Ranks
-	for b := 0; b < g.Banks; b++ {
-		if c.module.OpenRow(dram.BankID{Channel: channel, Rank: rank, Bank: b}) != -1 {
-			// Pages still open: wait for idle-close. Re-arm the deadline
-			// just past the page-close horizon.
-			c.sr.ranks[ri].lastDemand = t
-			return
-		}
+	st := &c.ps.ranks[ri]
+	if c.rankHasOpenPage(channel, rank) {
+		// Pages still open: wait for idle-close. Re-arm the deadline
+		// just past the page-close horizon.
+		st.lastDemand = t
+		c.scheduleFrom(ri, PSAwake, t)
+		return
 	}
 	// The module clamps entry behind the rank's in-flight work (queued
 	// refreshes can extend past the idle deadline); the effective time
 	// drives the checker coverage so it never claims a span the rank
 	// spent executing commands.
 	entered := c.module.EnterSelfRefresh(t, channel, rank)
-	c.sr.ranks[ri].active = true
-	c.sr.ranks[ri].enteredAt = entered
+	if st.state == PSPrePdnFast || st.state == PSPrePdnSlow {
+		// Descending from PRE-PDN: close that span's trace at the
+		// module-effective handoff point.
+		c.tracePowerDown(ri, entered)
+	}
+	st.state = PSSelfRefresh
+	st.enteredAt = entered
 	// The internal engine keeps every row fresh; mark the handoff for the
 	// checker (see the transition-bound note above).
 	c.restoreRank(entered, channel, rank)
+	c.scheduleFrom(ri, PSSelfRefresh, t)
 }
 
 // exitSelfRefresh wakes a rank for a demand access at time t.
 func (c *Controller) exitSelfRefresh(t sim.Time, channel, rank int) {
 	ri := c.rankOf(channel, rank)
-	if !c.sr.ranks[ri].active {
+	st := &c.ps.ranks[ri]
+	if st.state != PSSelfRefresh && st.state != PSSelfRefreshSlow {
 		return
 	}
 	c.module.ExitSelfRefresh(t, channel, rank)
-	c.sr.ranks[ri].active = false
-	c.sr.ranks[ri].lastDemand = t
+	st.state = PSAwake
+	st.lastDemand = t
 	if c.trace != nil {
-		c.trace.Command(telemetry.CmdSelfRefresh, c.rankTid(ri), -1, c.sr.ranks[ri].enteredAt, t)
+		c.trace.Command(telemetry.CmdSelfRefresh, c.rankTid(ri), -1, st.enteredAt, t)
 	}
 	// The engine refreshed throughout; rows are at most one interval old.
-	c.coverSelfRefresh(c.sr.ranks[ri].enteredAt, t, channel, rank)
+	c.coverSelfRefresh(st.enteredAt, t, channel, rank)
+	c.scheduleFrom(ri, PSAwake, t)
 }
 
 // coverSelfRefresh reports a rank's self-refresh residency [from, to] to
@@ -132,28 +102,6 @@ func (c *Controller) coverSelfRefresh(from, to sim.Time, channel, rank int) {
 	}
 }
 
-// finishSelfRefresh reports the still-open residency of every sleeping
-// rank up to the end of simulation, so the checker's end-of-run scan does
-// not flag rows the module engine kept fresh. The ranks stay asleep; a
-// repeated Finish extends rather than double-counts the coverage.
-func (c *Controller) finishSelfRefresh(end sim.Time) {
-	if c.sr.after <= 0 {
-		return
-	}
-	g := c.cfg.Geometry
-	for ri := range c.sr.ranks {
-		st := &c.sr.ranks[ri]
-		if !st.active || st.enteredAt >= end {
-			continue
-		}
-		if c.trace != nil {
-			c.trace.Command(telemetry.CmdSelfRefresh, c.rankTid(ri), -1, st.enteredAt, end)
-		}
-		c.coverSelfRefresh(st.enteredAt, end, ri/g.Ranks, ri%g.Ranks)
-		st.enteredAt = end
-	}
-}
-
 // restoreRank reports a whole-rank restore to the retention checker only.
 // The policy is deliberately not notified: its refresh commands keep
 // being generated (and dropped) during self-refresh, which resets its
@@ -172,20 +120,23 @@ func (c *Controller) restoreRank(t sim.Time, channel, rank int) {
 	}
 }
 
-// noteDemand records rank activity (defers self-refresh entry).
+// noteDemand records rank activity (defers every downward transition).
 func (c *Controller) noteDemand(t sim.Time, channel, rank int) {
-	if c.sr.after <= 0 {
+	if !c.ps.armed {
 		return
 	}
-	c.sr.ranks[c.rankOf(channel, rank)].lastDemand = t
+	ri := c.rankOf(channel, rank)
+	c.ps.ranks[ri].lastDemand = t
+	c.scheduleFrom(ri, PSAwake, t)
 }
 
 // selfRefreshActive reports whether the rank is in self-refresh.
 func (c *Controller) selfRefreshActive(channel, rank int) bool {
-	if c.sr.after <= 0 {
+	if !c.ps.armed {
 		return false
 	}
-	return c.sr.ranks[c.rankOf(channel, rank)].active
+	s := c.ps.ranks[c.rankOf(channel, rank)].state
+	return s == PSSelfRefresh || s == PSSelfRefreshSlow
 }
 
 // SelfRefreshStats summarises self-refresh behaviour as the module saw

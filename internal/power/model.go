@@ -32,17 +32,32 @@ func (e Energy) PowerOver(d sim.Duration) float64 {
 }
 
 // DDR2Currents is the per-device IDD current set from the vendor
-// datasheet, in milliamps, plus the supply voltage.
+// datasheet, in milliamps, plus the supply voltage. The power-down
+// entries (IDD3P, IDD2P0, IDD6L) are optional: zero means the state has
+// no distinct datasheet current and the model falls back to the nearest
+// shallower state (IDD3N, IDD2P, IDD6 respectively), so legacy current
+// tables keep evaluating unchanged.
 type DDR2Currents struct {
 	VDD   float64 // supply voltage, volts
 	IDD0  float64 // one-bank activate-precharge current
-	IDD2P float64 // precharge power-down standby
+	IDD2P float64 // precharge power-down standby, fast exit (tXP)
 	IDD2N float64 // precharge standby
 	IDD3N float64 // active standby
 	IDD4R float64 // burst read
 	IDD4W float64 // burst write
 	IDD5  float64 // refresh current
 	IDD6  float64 // self-refresh current
+
+	// IDD3P is the active power-down current (ACT-PDN: clock enable low
+	// with pages open). Optional; zero falls back to IDD3N (no saving).
+	IDD3P float64
+	// IDD2P0 is the slow-exit precharge power-down current (PRE-PDN with
+	// the DLL frozen, woken over tXPDLL). Optional; zero falls back to
+	// IDD2P.
+	IDD2P0 float64
+	// IDD6L is the low-power self-refresh current of the slow-wake mode
+	// (DLL off, exit pays a relock). Optional; zero falls back to IDD6.
+	IDD6L float64
 }
 
 // Validate reports an error for physically inconsistent currents.
@@ -60,22 +75,64 @@ func (c DDR2Currents) Validate() error {
 	if c.IDD6 <= 0 || c.IDD6 > c.IDD2P {
 		return fmt.Errorf("power: IDD6 (%v) must be positive and at most IDD2P (%v)", c.IDD6, c.IDD2P)
 	}
+	// The optional power-down currents, when set, must slot into the
+	// same monotone ladder: deeper states draw less.
+	if c.IDD3P != 0 && (c.IDD3P < c.IDD2P || c.IDD3P > c.IDD3N) {
+		return fmt.Errorf("power: IDD3P (%v) must lie in [IDD2P, IDD3N] = [%v, %v]", c.IDD3P, c.IDD2P, c.IDD3N)
+	}
+	if c.IDD2P0 != 0 && (c.IDD2P0 < c.IDD6 || c.IDD2P0 > c.IDD2P) {
+		return fmt.Errorf("power: IDD2P0 (%v) must lie in [IDD6, IDD2P] = [%v, %v]", c.IDD2P0, c.IDD6, c.IDD2P)
+	}
+	if c.IDD6L != 0 && (c.IDD6L < 0 || c.IDD6L > c.IDD6) {
+		return fmt.Errorf("power: IDD6L (%v) must be positive and at most IDD6 (%v)", c.IDD6L, c.IDD6)
+	}
 	return nil
 }
 
+// ActivePowerDown returns the ACT-PDN current: IDD3P when the table has
+// one, else IDD3N (the state then saves nothing).
+func (c DDR2Currents) ActivePowerDown() float64 {
+	if c.IDD3P > 0 {
+		return c.IDD3P
+	}
+	return c.IDD3N
+}
+
+// PrechargePowerDownSlow returns the slow-exit PRE-PDN current: IDD2P0
+// when the table has one, else the fast-exit IDD2P.
+func (c DDR2Currents) PrechargePowerDownSlow() float64 {
+	if c.IDD2P0 > 0 {
+		return c.IDD2P0
+	}
+	return c.IDD2P
+}
+
+// SelfRefreshSlow returns the slow-wake self-refresh current: IDD6L when
+// the table has one, else IDD6.
+func (c DDR2Currents) SelfRefreshSlow() float64 {
+	if c.IDD6L > 0 {
+		return c.IDD6L
+	}
+	return c.IDD6
+}
+
 // MicronDDR2_667 returns the datasheet current set for the Micron DDR2-667
-// registered DIMM family the paper configures from [7].
+// registered DIMM family the paper configures from [7]. The power-down
+// entries follow the same speed grade's low-power columns.
 func MicronDDR2_667() DDR2Currents {
 	return DDR2Currents{
-		VDD:   1.8,
-		IDD0:  85,
-		IDD2P: 7,
-		IDD2N: 35,
-		IDD3N: 45,
-		IDD4R: 150,
-		IDD4W: 155,
-		IDD5:  190,
-		IDD6:  6,
+		VDD:    1.8,
+		IDD0:   85,
+		IDD2P:  7,
+		IDD2N:  35,
+		IDD3N:  45,
+		IDD4R:  150,
+		IDD4W:  155,
+		IDD5:   190,
+		IDD6:   6,
+		IDD3P:  20,
+		IDD2P0: 6.5,
+		IDD6L:  4,
 	}
 }
 
@@ -335,17 +392,51 @@ func (m Model) Evaluate(ms dram.ModuleStats, ps core.PolicyStats) Breakdown {
 	if idleMS < 0 {
 		idleMS = 0
 	}
-	bg := m.backgroundPowerMW(true)*activeMS + m.standbyPowerMW(m.Currents.IDD6)*srMS
-	if ms.PowerDownTime > 0 {
-		pdMS := ms.PowerDownTime.Milliseconds()
-		rest := idleMS - pdMS
-		if rest < 0 {
-			rest = 0
+	var bg float64
+	if ms.PowerStatesTracked {
+		// The controller ran the explicit per-rank power-state machine:
+		// integrate background energy over the full residency vector —
+		// each state's standby power times its tracked residency, with
+		// the awake shares as the remainders. The PowerDownFraction
+		// calibration does not apply; the machine measured the real
+		// split.
+		cur := m.Currents
+		actPdnMS := ms.ActPdnTime.Milliseconds()
+		fastMS := ms.PrePdnFastTime.Milliseconds()
+		slowMS := ms.PrePdnSlowTime.Milliseconds()
+		srSlowMS := ms.SelfRefreshSlowTime.Milliseconds()
+		awakeActiveMS := activeMS - actPdnMS // ACT-PDN is part of ActiveTime
+		if awakeActiveMS < 0 {
+			awakeActiveMS = 0
 		}
-		bg += m.standbyPowerMW(m.Currents.IDD2N)*rest +
-			m.standbyPowerMW(m.Currents.IDD2P)*pdMS
+		awakeIdleMS := idleMS - fastMS - slowMS // idleMS already excludes SR
+		if awakeIdleMS < 0 {
+			awakeIdleMS = 0
+		}
+		srFastMS := srMS - srSlowMS // slow-wake is part of SelfRefreshTime
+		if srFastMS < 0 {
+			srFastMS = 0
+		}
+		bg = m.standbyPowerMW(cur.IDD3N)*awakeActiveMS +
+			m.standbyPowerMW(cur.ActivePowerDown())*actPdnMS +
+			m.standbyPowerMW(cur.IDD2N)*awakeIdleMS +
+			m.standbyPowerMW(cur.IDD2P)*fastMS +
+			m.standbyPowerMW(cur.PrechargePowerDownSlow())*slowMS +
+			m.standbyPowerMW(cur.IDD6)*srFastMS +
+			m.standbyPowerMW(cur.SelfRefreshSlow())*srSlowMS
 	} else {
-		bg += m.backgroundPowerMW(false) * idleMS
+		bg = m.backgroundPowerMW(true)*activeMS + m.standbyPowerMW(m.Currents.IDD6)*srMS
+		if ms.PowerDownTime > 0 {
+			pdMS := ms.PowerDownTime.Milliseconds()
+			rest := idleMS - pdMS
+			if rest < 0 {
+				rest = 0
+			}
+			bg += m.standbyPowerMW(m.Currents.IDD2N)*rest +
+				m.standbyPowerMW(m.Currents.IDD2P)*pdMS
+		} else {
+			bg += m.backgroundPowerMW(false) * idleMS
+		}
 	}
 	b.Background = Energy(bg * 1e6)
 	return b

@@ -214,12 +214,26 @@ func TestEnergyHelpers(t *testing.T) {
 	if e.Joules() != 2e-3 {
 		t.Errorf("Joules = %v", e.Joules())
 	}
-	// 2 mJ over 1 s = 2 mW.
-	if got := e.PowerOver(sim.Second); math.Abs(got-2e-3) > 1e-12 {
-		t.Errorf("PowerOver = %v", got)
+	// A non-positive window has no average power: PowerOver guards
+	// rather than returning Inf/NaN, so report paths can divide by a
+	// drained (or never-started) window without poisoning aggregates.
+	cases := []struct {
+		name string
+		d    sim.Duration
+		want float64
+	}{
+		{"1s", sim.Second, 2e-3}, // 2 mJ over 1 s = 2 mW
+		{"zero", 0, 0},
+		{"negative", -sim.Millisecond, 0},
+		{"negative-1s", -sim.Second, 0},
 	}
-	if e.PowerOver(0) != 0 {
-		t.Error("PowerOver(0) should be 0")
+	for _, tc := range cases {
+		if got := e.PowerOver(tc.d); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PowerOver(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if got := Energy(0).PowerOver(0); got != 0 {
+		t.Errorf("PowerOver(0) on zero energy = %v, want 0 (not NaN)", got)
 	}
 }
 

@@ -48,6 +48,7 @@ const (
 	CmdRefreshAB   // all-bank refresh (REFab), one event per bank
 	CmdSelfRefresh // one span from mode entry to exit
 	CmdIdleClose   // controller-initiated idle page-close precharge
+	CmdPowerDown   // one span per CKE-low power-down residency (arg: state)
 	numCommandKinds
 )
 
@@ -74,6 +75,8 @@ func (k CommandKind) String() string {
 		return "SELF-REF"
 	case CmdIdleClose:
 		return "IDLE-CLOSE"
+	case CmdPowerDown:
+		return "PWR-DN"
 	default:
 		return fmt.Sprintf("CommandKind(%d)", int(k))
 	}

@@ -201,6 +201,7 @@ func TestCommandKindStrings(t *testing.T) {
 		CmdRefreshRASOnly: "REF-RAS", CmdRefreshCBR: "REF-CBR",
 		CmdRefreshPB: "REF-PB", CmdRefreshAB: "REF-AB",
 		CmdSelfRefresh: "SELF-REF", CmdIdleClose: "IDLE-CLOSE",
+		CmdPowerDown: "PWR-DN",
 	}
 	if len(want) != int(numCommandKinds) {
 		t.Fatalf("test covers %d kinds, tracer has %d", len(want), numCommandKinds)
